@@ -1,0 +1,169 @@
+package repro
+
+// The benchmark harness: one benchmark per experiment of the paper
+// reproduction (the tables of EXPERIMENTS.md), plus micro-benchmarks of
+// the simulator and protocol kernels. Experiment benchmarks run the
+// reduced (Quick) ladders so `go test -bench=.` completes in seconds; the
+// full tables are produced by `go run ./cmd/experiments -all`.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/optical"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/optnet"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, experiments.Options{Seed: 1, Quick: true, Trials: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl.Fprint(io.Discard)
+	}
+}
+
+// One benchmark per experiment table (see DESIGN.md section 4).
+
+func BenchmarkE1_LeveledUpperBound(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2_StaggeredLowerBound(b *testing.B)  { benchExperiment(b, "E2") }
+func BenchmarkE3_ShortcutFreeUpper(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4_CyclicLowerBound(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5_PriorityVsServeFirst(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6_CongestionDecay(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7_NodeSymmetric(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8_Meshes(b *testing.B)               { benchExperiment(b, "E8") }
+func BenchmarkE9_ButterflyQ(b *testing.B)           { benchExperiment(b, "E9") }
+func BenchmarkE10_Conversion(b *testing.B)          { benchExperiment(b, "E10") }
+func BenchmarkE11_SparseConversion(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12_MultiHop(b *testing.B)            { benchExperiment(b, "E12") }
+func BenchmarkE13_RWAContrast(b *testing.B)         { benchExperiment(b, "E13") }
+func BenchmarkE14_Lemma210(b *testing.B)            { benchExperiment(b, "E14") }
+func BenchmarkE15_DynamicLoad(b *testing.B)         { benchExperiment(b, "E15") }
+func BenchmarkE16_ElectronicBaseline(b *testing.B)  { benchExperiment(b, "E16") }
+func BenchmarkE17_Adversarial(b *testing.B)         { benchExperiment(b, "E17") }
+func BenchmarkA1_Schedules(b *testing.B)            { benchExperiment(b, "A1") }
+func BenchmarkA2_Wreckage(b *testing.B)             { benchExperiment(b, "A2") }
+func BenchmarkA3_Acks(b *testing.B)                 { benchExperiment(b, "A3") }
+func BenchmarkA4_TiePolicy(b *testing.B)            { benchExperiment(b, "A4") }
+func BenchmarkA5_Constants(b *testing.B)            { benchExperiment(b, "A5") }
+func BenchmarkA6_WavelengthChoice(b *testing.B)     { benchExperiment(b, "A6") }
+func BenchmarkA7_Synchronization(b *testing.B)      { benchExperiment(b, "A7") }
+func BenchmarkF4_WitnessTrees(b *testing.B)         { benchExperiment(b, "F4") }
+func BenchmarkF5_WitnessDepths(b *testing.B)        { benchExperiment(b, "F5") }
+func BenchmarkS1_Scorecard(b *testing.B)            { benchExperiment(b, "S1") }
+
+// Micro-benchmarks of the kernels.
+
+// BenchmarkSimRound measures one simulated round of 256 worms on a
+// 16x16 torus (the protocol's inner loop).
+func BenchmarkSimRound(b *testing.B) {
+	tor := topology.NewTorus(2, 16)
+	g := tor.Graph()
+	src := rng.New(7)
+	prs := paths.RandomPermutation(g.NumNodes(), src)
+	col, err := paths.Build(g, prs, paths.DimOrderTorus(tor))
+	if err != nil {
+		b.Fatal(err)
+	}
+	worms := make([]sim.Worm, col.Size())
+	for i := range worms {
+		worms[i] = sim.Worm{
+			ID: i, Path: col.Path(i), Length: 8,
+			Delay: src.Intn(64), Wavelength: src.Intn(4),
+		}
+	}
+	cfg := sim.Config{Bandwidth: 4, Rule: optical.ServeFirst, AckLength: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(g, worms, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolTorus measures a complete protocol run end to end.
+func BenchmarkProtocolTorus(b *testing.B) {
+	net := optnet.Torus(2, 16)
+	wl := optnet.Permutation(net, 3)
+	col, err := optnet.BuildCollection(net, wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := optnet.RouteCollection(col, optnet.Params{
+			Bandwidth: 4, WormLength: 8, Seed: uint64(i), AckLength: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllDelivered {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkPathSelection measures dimension-order selection throughput.
+func BenchmarkPathSelection(b *testing.B) {
+	tor := topology.NewTorus(2, 32)
+	sel := paths.DimOrderTorus(tor)
+	n := tor.Graph().NumNodes()
+	src := rng.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, d := src.Intn(n), src.Intn(n)
+		if s != d {
+			_ = sel(s, d)
+		}
+	}
+}
+
+// BenchmarkPathCongestion measures the C-tilde computation.
+func BenchmarkPathCongestion(b *testing.B) {
+	tor := topology.NewTorus(2, 16)
+	src := rng.New(9)
+	prs := paths.RandomFunction(tor.Graph().NumNodes(), src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col, err := paths.Build(tor.Graph(), prs, paths.DimOrderTorus(tor))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = col.PathCongestion()
+	}
+}
+
+// BenchmarkShortcutFreeCheck measures the exact classification predicate.
+func BenchmarkShortcutFreeCheck(b *testing.B) {
+	tor := topology.NewTorus(2, 8)
+	src := rng.New(11)
+	prs := paths.RandomPermutation(tor.Graph().NumNodes(), src)
+	col, err := paths.Build(tor.Graph(), prs, paths.DimOrderTorus(tor))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !col.IsShortCutFree() {
+			b.Fatal("unexpected shortcut")
+		}
+	}
+}
+
+// BenchmarkHalvingSchedule measures the delay-schedule computation.
+func BenchmarkHalvingSchedule(b *testing.B) {
+	p := core.Params{N: 4096, Dilation: 32, PathCongestion: 512, Length: 8, Bandwidth: 4}
+	s := core.HalvingSchedule{}
+	for i := 0; i < b.N; i++ {
+		_ = s.Range(1+i%16, p)
+	}
+}

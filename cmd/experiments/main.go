@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's result tables: one
+// experiment per theorem, figure and ablation (see DESIGN.md and
+// EXPERIMENTS.md for the index).
+//
+// Usage:
+//
+//	experiments -all                # run everything
+//	experiments -run E5             # one experiment
+//	experiments -run E5 -quick      # reduced ladder (seconds)
+//	experiments -list               # show what exists
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "experiment ID (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment IDs")
+		quick  = flag.Bool("quick", false, "use reduced problem-size ladders")
+		seed   = flag.Uint64("seed", 1, "master random seed")
+		trials = flag.Int("trials", 0, "Monte-Carlo trials per configuration (0 = default)")
+		asJSON = flag.Bool("json", false, "emit tables as JSON instead of text")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Trials: *trials}
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+	case *all:
+		if *asJSON {
+			for _, id := range experiments.IDs() {
+				tbl, err := experiments.Run(id, opts)
+				if err != nil {
+					fatal(err)
+				}
+				if err := tbl.WriteJSON(os.Stdout); err != nil {
+					fatal(err)
+				}
+			}
+			return
+		}
+		if err := experiments.RunAll(opts, os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *run != "":
+		tbl, err := experiments.Run(*run, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			if err := tbl.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		tbl.Fprint(os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,197 @@
+// Command optroute runs the Trial-and-Failure protocol on a chosen
+// topology and workload and prints a per-round report.
+//
+// Usage:
+//
+//	optroute -topo torus -dims 2 -side 16 -workload perm -B 4 -L 8 -rule priority
+//
+// Topologies: torus, mesh, hypercube, butterfly, ring, circulant.
+// Workloads: perm, func, qfunc (use -q).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/witness"
+	"repro/optnet"
+)
+
+func main() {
+	var (
+		topo     = flag.String("topo", "torus", "topology: torus|mesh|hypercube|butterfly|ring|circulant")
+		dims     = flag.Int("dims", 2, "dimensions (torus/mesh)")
+		side     = flag.Int("side", 8, "side length (torus/mesh) or size (ring/circulant)")
+		dim      = flag.Int("dim", 6, "dimension (hypercube/butterfly)")
+		workload = flag.String("workload", "perm", "workload: perm|func|qfunc")
+		q        = flag.Int("q", 2, "messages per node for qfunc")
+		bandw    = flag.Int("B", 2, "bandwidth (wavelengths)")
+		length   = flag.Int("L", 4, "worm length (flits)")
+		rule     = flag.String("rule", "serve-first", "rule: serve-first|priority")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		ackLen   = flag.Int("ack", 1, "ack length in flits (0 = oracle)")
+		schedule = flag.String("schedule", "halving", "delay schedule: halving|paper|fixed|doubling")
+		wreckage = flag.String("wreckage", "drain", "wreckage policy: drain|vanish")
+		convert  = flag.Bool("convert", false, "enable wavelength conversion at every router")
+		hops     = flag.Int("hops", 1, "optical hops per worm (electrical buffering between)")
+		verbose  = flag.Bool("v", false, "print per-round details")
+		witnessF = flag.Bool("witness", false, "analyze blocking graphs (Claim 2.6) from traces")
+	)
+	flag.Parse()
+
+	net, err := buildNetwork(*topo, *dims, *side, *dim)
+	if err != nil {
+		fatal(err)
+	}
+	var wl optnet.Workload
+	switch *workload {
+	case "perm":
+		wl = optnet.Permutation(net, *seed)
+	case "func":
+		wl = optnet.RandomFunction(net, *seed)
+	case "qfunc":
+		if *topo == "butterfly" {
+			wl = optnet.ButterflyQFunction(net, *q, *seed)
+		} else {
+			wl = optnet.QFunction(net, *q, *seed)
+		}
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+	if *topo == "butterfly" && *workload != "qfunc" {
+		fatal(fmt.Errorf("the butterfly routes input-to-output workloads; use -workload qfunc"))
+	}
+
+	r := optnet.ServeFirst
+	if *rule == "priority" {
+		r = optnet.Priority
+	}
+	adv := &optnet.Advanced{TrackCongestion: *verbose, RecordCollisions: *witnessF}
+	switch *schedule {
+	case "halving":
+	case "paper":
+		adv.Schedule = core.PaperExact()
+	case "fixed":
+		adv.Schedule = core.FixedSchedule{}
+	case "doubling":
+		adv.Schedule = core.DoublingSchedule{}
+	default:
+		fatal(fmt.Errorf("unknown schedule %q", *schedule))
+	}
+	if *wreckage == "vanish" {
+		adv.Wreckage = sim.Vanish
+	}
+	if *convert {
+		adv.Conversion = sim.FullConversion
+	}
+
+	stats, err := optnet.Analyze(net, wl)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("network:   %s (%d routers, %d links)\n",
+		net.Name(), net.Graph().NumNodes(), net.Graph().NumLinks())
+	fmt.Printf("workload:  %s -> %s\n", wl.Name, stats)
+	fmt.Printf("protocol:  B=%d L=%d rule=%s schedule=%s ack=%d wreckage=%s\n",
+		*bandw, *length, r, *schedule, *ackLen, *wreckage)
+
+	if *hops > 1 {
+		runMultiHop(net, wl, *hops, *bandw, *length, r, *seed, *ackLen, adv)
+		return
+	}
+	res, err := optnet.Route(net, wl, optnet.Params{
+		Bandwidth:  *bandw,
+		WormLength: *length,
+		Rule:       r,
+		Seed:       *seed,
+		AckLength:  *ackLen,
+		Advanced:   adv,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nrounds:    %d (all delivered: %t)\n", res.TotalRounds, res.AllDelivered)
+	fmt.Printf("time:      %d steps accounted (paper), %d measured\n", res.TotalTime, res.MeasuredTime)
+	if res.DuplicateAcks > 0 {
+		fmt.Printf("dup acks:  %d deliveries retried because the ack was lost\n", res.DuplicateAcks)
+	}
+	if *witnessF {
+		a := witness.Analyze(res.RoundTraces)
+		tie := a.TotalCycles() - a.TotalProperCycles()
+		fmt.Printf("witness:   %d tie cycles, %d proper blocking cycles, Claim 2.6 holds: %t\n",
+			tie, a.TotalProperCycles(), a.SatisfiesClaim26())
+	}
+	if *verbose {
+		fmt.Println("\nround  delta  active  delivered  acked  collisions  residualC  makespan")
+		for _, rs := range res.Rounds {
+			fmt.Printf("%5d  %5d  %6d  %9d  %5d  %10d  %9d  %8d\n",
+				rs.Round, rs.DelayRange, rs.ActiveBefore, rs.Delivered, rs.Acked,
+				rs.Collisions, rs.ResidualCongestion, rs.Makespan)
+		}
+	}
+	if !res.AllDelivered {
+		fmt.Printf("\nWARNING: %d worms still active after the round cap\n", len(res.StillActive))
+		os.Exit(2)
+	}
+}
+
+// runMultiHop routes the workload in several optical stages with
+// electrical buffering between them (the Section 4 extension).
+func runMultiHop(net *optnet.Network, wl optnet.Workload, hops, bandw, length int,
+	r optnet.Rule, seed uint64, ackLen int, adv *optnet.Advanced) {
+	col, err := optnet.BuildCollection(net, wl)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		Bandwidth:  bandw,
+		Length:     length,
+		Rule:       r,
+		AckLength:  ackLen,
+		Wreckage:   adv.Wreckage,
+		Conversion: adv.Conversion,
+	}
+	mh, err := core.RunMultiHop(col, hops, cfg, rng.New(seed))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nhops:      %d stages (max segment dilation %d)\n", len(mh.Stages), mh.SegmentDilation)
+	for i, st := range mh.Stages {
+		fmt.Printf("  stage %d: %d rounds, %d steps, delivered=%t\n",
+			i+1, st.TotalRounds, st.TotalTime, st.AllDelivered)
+	}
+	fmt.Printf("total:     %d rounds, %d steps, all delivered: %t\n",
+		mh.TotalRounds, mh.TotalTime, mh.AllDelivered)
+	if !mh.AllDelivered {
+		os.Exit(2)
+	}
+}
+
+func buildNetwork(topo string, dims, side, dim int) (*optnet.Network, error) {
+	switch topo {
+	case "torus":
+		return optnet.Torus(dims, side), nil
+	case "mesh":
+		return optnet.Mesh(dims, side), nil
+	case "hypercube":
+		return optnet.Hypercube(dim), nil
+	case "butterfly":
+		return optnet.Butterfly(dim), nil
+	case "ring":
+		return optnet.Ring(side), nil
+	case "circulant":
+		return optnet.Circulant(side, []int{1, 1 + side/4}), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "optroute:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces Flammini & Scheideler, "Simple, Efficient
+// Routing Schemes for All-Optical Networks" (SPAA 1997): the
+// Trial-and-Failure protocol for bufferless wavelength-division optical
+// wormhole routing, the serve-first and priority router models, the
+// lower-bound gadget families, and experiments verifying the shape of
+// every bound in the paper.
+//
+// The public API lives in package optnet; the benchmark harness that
+// regenerates the paper's results is the experiments command (see
+// cmd/experiments and bench_test.go); DESIGN.md and EXPERIMENTS.md
+// document the system inventory and the paper-vs-measured comparison.
+package repro

@@ -1,0 +1,84 @@
+// Adversarial demonstrates the paper's lower-bound machinery live: the
+// cyclic three-path structures of Figure 6 where worms eliminate each
+// other in directed cycles under the serve-first rule, the witness-tree
+// analysis of Figure 4 / Claim 2.6 on the resulting traces, and how
+// priority routers dissolve the cycles (Main Theorem 1.3).
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/optical"
+	"repro/internal/rng"
+	"repro/internal/witness"
+)
+
+func main() {
+	const (
+		structures = 128
+		L          = 4
+		delta      = 2 * L
+	)
+	b := lowerbound.Cyclic(structures, L/2+4, L)
+	c := b.Collection
+	fmt.Printf("gadget: %d cyclic structures (Fig. 6), n=%d paths, D=%d\n",
+		structures, c.Size(), c.Dilation())
+	fmt.Printf("classification: shortcut-free=%t leveled=%t\n\n",
+		c.IsShortCutFree(), c.IsLeveled())
+
+	for _, rule := range []optical.Rule{optical.ServeFirst, optical.Priority} {
+		cfg := core.Config{
+			Bandwidth:        1,
+			Length:           L,
+			Rule:             rule,
+			Schedule:         core.ConstantSchedule{Delta: delta},
+			MaxRounds:        500,
+			RecordCollisions: true,
+		}
+		if rule == optical.Priority {
+			cfg.Priorities = core.RandomRanks{}
+		}
+		res, err := core.Run(c, cfg, rng.New(11))
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := witness.Analyze(res.RoundTraces)
+		properCycles := a.TotalProperCycles()
+		maxDepth := 0
+		for i := 0; i < c.Size(); i++ {
+			if d := a.WitnessDepth(i); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		fmt.Printf("%s routers:\n", rule)
+		fmt.Printf("  rounds to clear:          %d (all delivered: %t)\n",
+			res.TotalRounds, res.AllDelivered)
+		fmt.Printf("  mutual-blocking cycles:   %d\n", properCycles)
+		fmt.Printf("  deepest witness tree:     %d levels\n", maxDepth)
+
+		// Show one concrete blocking cycle from round 1 if there is one.
+		if cycles := a.Rounds[0].ProperCycles(); len(cycles) > 0 {
+			fmt.Printf("  example cycle in round 1: worms %v block each other\n", cycles[0])
+		}
+		// And the deepest witness tree (the paper's Figure 4, from data).
+		for i := 0; i < c.Size(); i++ {
+			if a.WitnessDepth(i) == maxDepth && maxDepth > 1 {
+				a.RenderTree(os.Stdout, i, maxDepth)
+				break
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("Serve-first routers let the three worms of a structure eliminate one")
+	fmt.Println("another (a directed blocking cycle), so structures survive whole rounds")
+	fmt.Println("and clearing all of them takes ~log n rounds (Main Theorem 1.2's lower")
+	fmt.Println("bound). Priority routers make cycles impossible — the highest-ranked")
+	fmt.Println("worm of any chain always survives (Claim 2.6) — which recovers the")
+	fmt.Println("sqrt(log n) + loglog n behaviour of Main Theorem 1.3.")
+}

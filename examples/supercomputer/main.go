@@ -1,0 +1,69 @@
+// Supercomputer models the paper's high-speed distributed computing
+// application: an all-to-all exchange phase (random q-functions from the
+// inputs to the outputs of a butterfly interconnect, Theorem 1.7),
+// comparing serve-first routers against priority routers and showing the
+// adversarial bit-reversal permutation next to random traffic.
+//
+//	go run ./examples/supercomputer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/paths"
+	"repro/internal/topology"
+	"repro/optnet"
+)
+
+const (
+	k    = 6 // butterfly dimension: 64 compute nodes feed 64 memories
+	seed = 5
+)
+
+func main() {
+	net := optnet.Butterfly(k)
+	fmt.Printf("interconnect: %s (%d routers)\n\n", net.Name(), net.Graph().NumNodes())
+
+	bf := net.Topology().(*topology.Butterfly)
+	rev := make([]int, bf.Rows())
+	for r := range rev {
+		for b := 0; b < k; b++ {
+			if r&(1<<b) != 0 {
+				rev[r] |= 1 << (k - 1 - b)
+			}
+		}
+	}
+	workloads := []optnet.Workload{
+		optnet.ButterflyQFunction(net, 1, seed),
+		optnet.ButterflyQFunction(net, 4, seed),
+		optnet.Pairs(paths.ButterflyPermutation(bf, rev), "bit-reversal permutation"),
+	}
+
+	fmt.Println("workload                  rule         rounds  time   C~   delivered")
+	for _, wl := range workloads {
+		stats, err := optnet.Analyze(net, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, rule := range []optnet.Rule{optnet.ServeFirst, optnet.Priority} {
+			res, err := optnet.Route(net, wl, optnet.Params{
+				Bandwidth:  2,
+				WormLength: 6,
+				Rule:       rule,
+				AckLength:  1,
+				Seed:       seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-25s %-12s %6d  %5d  %3d  %t\n",
+				wl.Name, rule, res.TotalRounds, res.TotalTime,
+				stats.PathCongestion, res.AllDelivered)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Butterfly input-output paths are leveled, so Main Theorem 1.1 applies")
+	fmt.Println("to serve-first routers already; priority routers give the same bound")
+	fmt.Println("(Main Theorem 1.3) and similar measured behaviour on this workload.")
+}

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/optical"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func torusPermCollection(t *testing.T, side int, seed uint64) *paths.Collection {
+	t.Helper()
+	tor := topology.NewTorus(2, side)
+	src := rng.New(seed)
+	prs := paths.RandomPermutation(tor.Graph().NumNodes(), src)
+	c, err := paths.Build(tor.Graph(), prs, paths.DimOrderTorus(tor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunDeliversEverything(t *testing.T) {
+	c := torusPermCollection(t, 5, 1)
+	res, err := Run(c, Config{
+		Bandwidth:       2,
+		Length:          3,
+		Rule:            optical.ServeFirst,
+		AckLength:       1,
+		CheckInvariants: true,
+	}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDelivered {
+		t.Fatalf("not all delivered after %d rounds; still active: %v",
+			res.TotalRounds, res.StillActive)
+	}
+	if res.TotalRounds < 1 {
+		t.Error("no rounds recorded")
+	}
+	if res.TotalTime <= 0 || res.MeasuredTime <= 0 {
+		t.Error("times not accounted")
+	}
+	// Accounting identity: each round contributes Delta + 2(D+L).
+	sum := 0
+	for _, r := range res.Rounds {
+		want := r.DelayRange + 2*(res.Params.Dilation+res.Params.Length)
+		if r.AccountedTime != want {
+			t.Errorf("round %d accounted %d, want %d", r.Round, r.AccountedTime, want)
+		}
+		sum += r.AccountedTime
+	}
+	if sum != res.TotalTime {
+		t.Errorf("TotalTime %d != sum %d", res.TotalTime, sum)
+	}
+}
+
+func TestRunPriorityDelivers(t *testing.T) {
+	c := torusPermCollection(t, 5, 3)
+	res, err := Run(c, Config{
+		Bandwidth:       1,
+		Length:          2,
+		Rule:            optical.Priority,
+		Priorities:      RandomRanks{},
+		AckLength:       1,
+		CheckInvariants: true,
+	}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDelivered {
+		t.Fatalf("priority run incomplete: %d still active", len(res.StillActive))
+	}
+}
+
+func TestActiveCountsMonotone(t *testing.T) {
+	c := torusPermCollection(t, 6, 5)
+	res, err := Run(c, Config{
+		Bandwidth: 1, Length: 2, Rule: optical.ServeFirst, AckLength: 1,
+	}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := c.Size() + 1
+	for _, r := range res.Rounds {
+		if r.ActiveBefore > prev {
+			t.Fatalf("active count grew: %d -> %d", prev, r.ActiveBefore)
+		}
+		if r.ActiveBefore <= 0 {
+			t.Fatal("round run with no active worms")
+		}
+		prev = r.ActiveBefore - r.Acked
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	c := torusPermCollection(t, 5, 11)
+	run := func() *Result {
+		res, err := Run(c, Config{
+			Bandwidth: 2, Length: 2, Rule: optical.ServeFirst, AckLength: 1,
+		}, rng.New(123))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalRounds != b.TotalRounds || a.TotalTime != b.TotalTime {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d rounds/time",
+			a.TotalRounds, a.TotalTime, b.TotalRounds, b.TotalTime)
+	}
+	for i := range a.Rounds {
+		if a.Rounds[i] != b.Rounds[i] {
+			t.Fatalf("round %d stats differ", i)
+		}
+	}
+}
+
+func TestEmptyCollection(t *testing.T) {
+	g := topology.NewChain(3).Graph()
+	c, err := paths.NewCollection(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, Config{Bandwidth: 1, Length: 1}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDelivered || res.TotalRounds != 0 {
+		t.Error("empty collection should be trivially complete")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := torusPermCollection(t, 5, 2)
+	if _, err := Run(c, Config{Bandwidth: 0, Length: 1}, rng.New(1)); err == nil {
+		t.Error("bandwidth 0 accepted")
+	}
+	if _, err := Run(c, Config{Bandwidth: 1, Length: 0}, rng.New(1)); err == nil {
+		t.Error("length 0 accepted")
+	}
+}
+
+func TestMaxRoundsCap(t *testing.T) {
+	// An impossible workload: two identical paths on one wavelength with
+	// delay range 1 always collide (same delay, same wavelength, B=1).
+	g := topology.NewChain(4).Graph()
+	c, err := paths.NewCollection(g, []graph.Path{
+		{0, 1, 2, 3}, {0, 1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, Config{
+		Bandwidth: 1,
+		Length:    2,
+		Rule:      optical.ServeFirst,
+		Schedule:  ConstantSchedule{Delta: 1},
+		MaxRounds: 5,
+	}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllDelivered {
+		t.Fatal("identical forced collisions cannot all deliver")
+	}
+	if res.TotalRounds != 5 {
+		t.Errorf("rounds = %d, want cap 5", res.TotalRounds)
+	}
+	if len(res.StillActive) != 2 {
+		t.Errorf("still active = %v", res.StillActive)
+	}
+}
+
+func TestTrackCongestionHalves(t *testing.T) {
+	// With TieEliminateAll and Delta 1 every round keeps congestion at 2;
+	// instead verify plumbing: residual congestion is reported and
+	// non-increasing on a real workload.
+	c := torusPermCollection(t, 6, 21)
+	res, err := Run(c, Config{
+		Bandwidth:       1,
+		Length:          2,
+		Rule:            optical.ServeFirst,
+		AckLength:       0,
+		TrackCongestion: true,
+	}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds[0].ResidualCongestion != res.Params.PathCongestion {
+		t.Errorf("round 1 residual %d != initial C %d",
+			res.Rounds[0].ResidualCongestion, res.Params.PathCongestion)
+	}
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].ResidualCongestion > res.Rounds[i-1].ResidualCongestion {
+			t.Errorf("residual congestion grew between rounds %d and %d", i, i+1)
+		}
+	}
+}
+
+func TestRecordCollisionsTraces(t *testing.T) {
+	c := torusPermCollection(t, 5, 8)
+	res, err := Run(c, Config{
+		Bandwidth: 1, Length: 2, Rule: optical.ServeFirst,
+		RecordCollisions: true,
+	}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RoundTraces) != res.TotalRounds {
+		t.Fatalf("traces %d != rounds %d", len(res.RoundTraces), res.TotalRounds)
+	}
+	total := 0
+	for i, tr := range res.RoundTraces {
+		if len(tr) != res.Rounds[i].Collisions {
+			t.Errorf("round %d trace length mismatch", i+1)
+		}
+		total += len(tr)
+	}
+	_ = total
+}
+
+func TestSchedules(t *testing.T) {
+	p := Params{N: 1024, Dilation: 10, PathCongestion: 64, Length: 4, Bandwidth: 2}
+	h := HalvingSchedule{}
+	prev := h.Range(1, p)
+	if prev <= p.Dilation+p.Length {
+		t.Error("halving round 1 must exceed D+L")
+	}
+	for t2 := 2; t2 < 12; t2++ {
+		cur := h.Range(t2, p)
+		if cur > prev {
+			t.Errorf("halving schedule grew at round %d: %d -> %d", t2, prev, cur)
+		}
+		prev = cur
+	}
+	// Floor: for large t the range stabilizes.
+	if h.Range(30, p) != h.Range(40, p) {
+		t.Error("halving schedule should reach a floor")
+	}
+
+	f := FixedSchedule{}
+	if f.Range(1, p) != f.Range(9, p) {
+		t.Error("fixed schedule must be constant")
+	}
+
+	d := DoublingSchedule{Base: 2}
+	if d.Range(2, p) <= d.Range(1, p) {
+		t.Error("doubling schedule must grow")
+	}
+	if d.Range(50, p) != d.Range(31, p) {
+		t.Error("doubling schedule shift must clamp")
+	}
+
+	cs := ConstantSchedule{Delta: 7}
+	if cs.Range(3, p) != 7 {
+		t.Error("constant schedule")
+	}
+	if (ConstantSchedule{Delta: 0}).Range(1, p) != 1 {
+		t.Error("constant schedule floor of 1")
+	}
+
+	for _, s := range []DelaySchedule{h, f, d, cs} {
+		if s.Name() == "" {
+			t.Error("schedule without name")
+		}
+	}
+}
+
+func TestPaperExactLargerThanPractical(t *testing.T) {
+	p := Params{N: 256, Dilation: 8, PathCongestion: 32, Length: 4, Bandwidth: 2}
+	if PaperExact().Range(1, p) <= (HalvingSchedule{}).Range(1, p) {
+		t.Error("paper-exact constants must dominate the practical defaults")
+	}
+}
+
+func TestPriorityAssigners(t *testing.T) {
+	src := rng.New(3)
+	active := []int{4, 7, 9}
+
+	rr := RandomRanks{}.Assign(1, active, src)
+	if len(rr) != 3 {
+		t.Fatal("rank count")
+	}
+	seen := map[int]bool{}
+	for _, r := range rr {
+		if seen[r] {
+			t.Fatal("random ranks not distinct")
+		}
+		seen[r] = true
+	}
+
+	sr := StaticRanks{}.Assign(1, active, src)
+	if sr[0] != 4 || sr[1] != 7 || sr[2] != 9 {
+		t.Errorf("static ranks = %v", sr)
+	}
+
+	er := ExplicitRanks{Ranks: []int{0, 0, 0, 0, 40, 0, 0, 70, 0, 90}}.Assign(1, active, src)
+	if er[0] != 40 || er[1] != 70 || er[2] != 90 {
+		t.Errorf("explicit ranks = %v", er)
+	}
+}
+
+func TestParamsLog2N(t *testing.T) {
+	if (Params{N: 8}).Log2N() != 3 {
+		t.Error("Log2N(8)")
+	}
+	if (Params{N: 0}).Log2N() != 1 {
+		t.Error("Log2N floor at N=2")
+	}
+}
+
+func TestOracleVsRealAcks(t *testing.T) {
+	// With oracle acks there can be no duplicate deliveries.
+	c := torusPermCollection(t, 5, 31)
+	res, err := Run(c, Config{
+		Bandwidth: 1, Length: 2, Rule: optical.ServeFirst, AckLength: 0,
+	}, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DuplicateAcks != 0 {
+		t.Errorf("oracle acks produced %d duplicates", res.DuplicateAcks)
+	}
+}
+
+func TestWavelengthPolicies(t *testing.T) {
+	c := torusPermCollection(t, 5, 41)
+	src := rng.New(8)
+	active := make([]int, c.Size())
+	for i := range active {
+		active[i] = i
+	}
+
+	rw := (RandomWavelengths{}).Assign(1, active, c, 4, src)
+	if len(rw) != len(active) {
+		t.Fatal("random policy length")
+	}
+	for _, w := range rw {
+		if w < 0 || w >= 4 {
+			t.Fatalf("random wavelength %d out of range", w)
+		}
+	}
+
+	cw := &ColoredWavelengths{}
+	colors, needed := c.GreedyWavelengthAssignment()
+	got := cw.Assign(1, active, c, needed, src)
+	// With B >= needed, the assignment equals the coloring: collision-free.
+	for i, idx := range active {
+		if got[i] != colors[idx] {
+			t.Fatalf("colored policy diverges from coloring at %d", idx)
+		}
+	}
+	// Cached across rounds: same output.
+	again := cw.Assign(2, active, c, needed, src)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatal("colored policy not stable across rounds")
+		}
+	}
+	if (RandomWavelengths{}).Name() != "random" || cw.Name() != "colored" {
+		t.Error("policy names")
+	}
+}
+
+func TestColoredWavelengthsCollisionFreeFirstRound(t *testing.T) {
+	c := torusPermCollection(t, 6, 17)
+	_, needed := c.GreedyWavelengthAssignment()
+	res, err := Run(c, Config{
+		Bandwidth:   needed,
+		Length:      4,
+		Rule:        optical.ServeFirst,
+		Wavelengths: &ColoredWavelengths{},
+	}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRounds != 1 {
+		t.Fatalf("rounds = %d, want 1 (static RWA seeding)", res.TotalRounds)
+	}
+	if res.Rounds[0].Collisions != 0 {
+		t.Errorf("collisions = %d, want 0", res.Rounds[0].Collisions)
+	}
+}
+
+func TestHeterogeneousLengths(t *testing.T) {
+	c := torusPermCollection(t, 5, 51)
+	lengths := make([]int, c.Size())
+	for i := range lengths {
+		lengths[i] = 1 + i%6
+	}
+	res, err := Run(c, Config{
+		Bandwidth: 2, Length: 1, Lengths: lengths,
+		Rule: optical.ServeFirst, AckLength: 1, CheckInvariants: true,
+	}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDelivered {
+		t.Fatal("heterogeneous workload incomplete")
+	}
+	if res.Params.Length != 6 {
+		t.Errorf("params length = %d, want max 6", res.Params.Length)
+	}
+	// Validation.
+	if _, err := Run(c, Config{Bandwidth: 1, Length: 1, Lengths: []int{1}}, rng.New(1)); err == nil {
+		t.Error("wrong Lengths size accepted")
+	}
+	bad := make([]int, c.Size())
+	if _, err := Run(c, Config{Bandwidth: 1, Length: 1, Lengths: bad}, rng.New(1)); err == nil {
+		t.Error("zero per-worm length accepted")
+	}
+}
+
+func TestDrainVanishStatisticallyIndistinguishable(t *testing.T) {
+	// Ablation A2's claim, tested properly: the distribution of total
+	// rounds under Drain and Vanish wreckage should not differ at the 0.1%
+	// level on a moderate workload.
+	c := torusPermCollection(t, 6, 61)
+	sample := func(pol sim.WreckagePolicy, seed uint64) []float64 {
+		src := rng.New(seed)
+		var xs []float64
+		for i := 0; i < 40; i++ {
+			res, err := Run(c, Config{
+				Bandwidth: 1, Length: 3, Rule: optical.ServeFirst,
+				Wreckage: pol,
+			}, src.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs = append(xs, float64(res.TotalRounds))
+		}
+		return xs
+	}
+	drain := sample(sim.Drain, 100)
+	vanish := sample(sim.Vanish, 200)
+	_, p, err := stats.WelchT(drain, vanish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Errorf("drain and vanish round counts differ significantly (p = %v)", p)
+	}
+}
+
+func TestWormRounds(t *testing.T) {
+	c := torusPermCollection(t, 5, 71)
+	res, err := Run(c, Config{
+		Bandwidth: 1, Length: 2, Rule: optical.ServeFirst, AckLength: 1,
+	}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WormRounds) != c.Size() {
+		t.Fatal("WormRounds length")
+	}
+	maxRound := 0
+	for i, r := range res.WormRounds {
+		if res.AllDelivered && r < 1 {
+			t.Fatalf("worm %d has no completion round", i)
+		}
+		if r > res.TotalRounds {
+			t.Fatalf("worm %d round %d beyond total %d", i, r, res.TotalRounds)
+		}
+		if r > maxRound {
+			maxRound = r
+		}
+	}
+	if res.AllDelivered && maxRound != res.TotalRounds {
+		t.Errorf("last completion round %d != total rounds %d", maxRound, res.TotalRounds)
+	}
+}

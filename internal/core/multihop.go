@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/rng"
+)
+
+// Multi-hop routing is the paper's closing suggestion (Section 4): allow
+// each worm a bounded number of hops — conversions to and from electrical
+// form at intermediate routers, where the message can be buffered and
+// re-launched. A worm with h hops traverses its path as h optical
+// segments; each segment is an independent all-optical worm, so the
+// Trial-and-Failure protocol runs once per stage on the collection of
+// stage segments. Stages are synchronized: stage s+1 starts after stage s
+// completes (the simple, analyzable discipline; pipelining would only
+// help).
+
+// MultiHopResult aggregates the per-stage protocol results.
+type MultiHopResult struct {
+	// Stages holds one protocol Result per hop stage.
+	Stages []*Result
+	// TotalRounds and TotalTime sum over the stages.
+	TotalRounds int
+	TotalTime   int
+	// AllDelivered reports whether every worm completed every stage.
+	AllDelivered bool
+	// SegmentDilation is the dilation of the longest single segment.
+	SegmentDilation int
+}
+
+// SplitPaths cuts every path of the collection into at most hops segments
+// of near-equal length, returning one collection per stage. Paths shorter
+// than the hop count contribute to fewer stages. Segment s of a path
+// starts where segment s-1 ended (the buffering router).
+func SplitPaths(c *paths.Collection, hops int) ([]*paths.Collection, error) {
+	if hops < 1 {
+		return nil, fmt.Errorf("core: hops %d < 1", hops)
+	}
+	g := c.Graph()
+	stages := make([][]graph.Path, hops)
+	for i := 0; i < c.Size(); i++ {
+		p := c.Path(i)
+		k := p.Len()
+		segs := hops
+		if k < segs {
+			segs = k
+		}
+		// Near-equal split: the first (k mod segs) segments get one
+		// extra link.
+		base := k / segs
+		extra := k % segs
+		pos := 0
+		for s := 0; s < segs; s++ {
+			ln := base
+			if s < extra {
+				ln++
+			}
+			seg := p[pos : pos+ln+1]
+			stages[s] = append(stages[s], seg.Clone())
+			pos += ln
+		}
+	}
+	out := make([]*paths.Collection, 0, hops)
+	for _, ps := range stages {
+		if len(ps) == 0 {
+			continue
+		}
+		col, err := paths.NewCollection(g, ps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, col)
+	}
+	return out, nil
+}
+
+// RunMultiHop routes the collection in at most hops optical stages,
+// running the Trial-and-Failure protocol per stage. hops = 1 is exactly
+// Run. The per-stage parameters (dilation, path congestion) are
+// recomputed per stage, so the delay schedule adapts to the shorter
+// segments.
+func RunMultiHop(c *paths.Collection, hops int, cfg Config, src *rng.Source) (*MultiHopResult, error) {
+	stageCols, err := SplitPaths(c, hops)
+	if err != nil {
+		return nil, err
+	}
+	res := &MultiHopResult{AllDelivered: true}
+	for _, col := range stageCols {
+		r, err := Run(col, cfg, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		res.Stages = append(res.Stages, r)
+		res.TotalRounds += r.TotalRounds
+		res.TotalTime += r.TotalTime
+		if !r.AllDelivered {
+			res.AllDelivered = false
+		}
+		if d := r.Params.Dilation; d > res.SegmentDilation {
+			res.SegmentDilation = d
+		}
+	}
+	return res, nil
+}

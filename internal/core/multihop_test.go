@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/optical"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestSplitPathsBasic(t *testing.T) {
+	g := topology.NewChain(11).Graph()
+	p := make(graph.Path, 11)
+	for i := range p {
+		p[i] = i
+	}
+	c := paths.MustCollection(g, []graph.Path{p}) // one path of 10 links
+	stages, err := SplitPaths(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	// 10 links over 3 segments: 4 + 3 + 3.
+	lens := []int{stages[0].Path(0).Len(), stages[1].Path(0).Len(), stages[2].Path(0).Len()}
+	if lens[0] != 4 || lens[1] != 3 || lens[2] != 3 {
+		t.Errorf("segment lengths = %v, want [4 3 3]", lens)
+	}
+	// Continuity: each segment starts where the previous ended.
+	if stages[0].Path(0).Dest() != stages[1].Path(0).Source() ||
+		stages[1].Path(0).Dest() != stages[2].Path(0).Source() {
+		t.Error("segments not contiguous")
+	}
+	// Endpoints preserved.
+	if stages[0].Path(0).Source() != 0 || stages[2].Path(0).Dest() != 10 {
+		t.Error("endpoints lost")
+	}
+}
+
+func TestSplitPathsShortPath(t *testing.T) {
+	g := topology.NewChain(4).Graph()
+	c := paths.MustCollection(g, []graph.Path{{0, 1}, {0, 1, 2, 3}})
+	stages, err := SplitPaths(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 1-link path contributes only to stage 0.
+	if stages[0].Size() != 2 {
+		t.Errorf("stage 0 size = %d, want 2", stages[0].Size())
+	}
+	if stages[1].Size() != 1 || stages[2].Size() != 1 {
+		t.Errorf("later stage sizes = %d, %d, want 1, 1", stages[1].Size(), stages[2].Size())
+	}
+}
+
+func TestSplitPathsErrors(t *testing.T) {
+	g := topology.NewChain(3).Graph()
+	c := paths.MustCollection(g, []graph.Path{{0, 1, 2}})
+	if _, err := SplitPaths(c, 0); err == nil {
+		t.Error("hops 0 accepted")
+	}
+}
+
+func TestRunMultiHopEqualsRunForOneHop(t *testing.T) {
+	tor := topology.NewTorus(2, 5)
+	src := rng.New(3)
+	prs := paths.RandomPermutation(tor.Graph().NumNodes(), src)
+	c, err := paths.Build(tor.Graph(), prs, paths.DimOrderTorus(tor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Bandwidth: 2, Length: 4, Rule: optical.ServeFirst, AckLength: 1}
+	mh, err := RunMultiHop(c, 1, cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One hop: a single stage whose result equals a direct Run with the
+	// same derived stream.
+	if len(mh.Stages) != 1 {
+		t.Fatalf("stages = %d", len(mh.Stages))
+	}
+	direct, err := Run(c, cfg, rng.New(9).Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.TotalRounds != direct.TotalRounds || mh.TotalTime != direct.TotalTime {
+		t.Errorf("1-hop multihop (%d rounds, %d time) != direct (%d, %d)",
+			mh.TotalRounds, mh.TotalTime, direct.TotalRounds, direct.TotalTime)
+	}
+}
+
+func TestRunMultiHopDelivers(t *testing.T) {
+	tor := topology.NewTorus(2, 6)
+	src := rng.New(5)
+	prs := paths.RandomFunction(tor.Graph().NumNodes(), src)
+	c, err := paths.Build(tor.Graph(), prs, paths.DimOrderTorus(tor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hops := range []int{1, 2, 3} {
+		mh, err := RunMultiHop(c, hops, Config{
+			Bandwidth: 2, Length: 4, Rule: optical.ServeFirst, AckLength: 1,
+			CheckInvariants: true,
+		}, rng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mh.AllDelivered {
+			t.Errorf("hops=%d: not all delivered", hops)
+		}
+		if hops > 1 && mh.SegmentDilation >= c.Dilation() && c.Dilation() > 1 {
+			t.Errorf("hops=%d: segment dilation %d did not shrink from %d",
+				hops, mh.SegmentDilation, c.Dilation())
+		}
+	}
+}
+
+func TestMultiHopSegmentDilationShrinks(t *testing.T) {
+	g := topology.NewChain(17).Graph()
+	p := make(graph.Path, 17)
+	for i := range p {
+		p[i] = i
+	}
+	c := paths.MustCollection(g, []graph.Path{p})
+	for _, tc := range []struct{ hops, wantMax int }{{1, 16}, {2, 8}, {4, 4}, {16, 1}} {
+		stages, err := SplitPaths(c, tc.hops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := 0
+		for _, st := range stages {
+			if d := st.Dilation(); d > max {
+				max = d
+			}
+		}
+		if max != tc.wantMax {
+			t.Errorf("hops=%d: max segment dilation %d, want %d", tc.hops, max, tc.wantMax)
+		}
+	}
+}

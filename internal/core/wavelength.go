@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/paths"
+	"repro/internal/rng"
+)
+
+// WavelengthPolicy chooses each active worm's wavelength per round. The
+// paper's protocol draws uniformly at random (RandomWavelengths); a
+// conflict-aware static choice (ColoredWavelengths) seeds the round with
+// a greedy RWA coloring reduced mod B, so worms that share links prefer
+// different wavelengths whenever B permits.
+type WavelengthPolicy interface {
+	// Assign returns a wavelength in [0, bandwidth) for each active worm
+	// index.
+	Assign(round int, active []int, c *paths.Collection, bandwidth int, src *rng.Source) []int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// RandomWavelengths is the paper's policy: independent uniform draws.
+type RandomWavelengths struct{}
+
+// Assign implements WavelengthPolicy.
+func (RandomWavelengths) Assign(round int, active []int, c *paths.Collection, bandwidth int, src *rng.Source) []int {
+	out := make([]int, len(active))
+	for i := range out {
+		out[i] = src.Intn(bandwidth)
+	}
+	return out
+}
+
+// Name implements WavelengthPolicy.
+func (RandomWavelengths) Name() string { return "random" }
+
+// ColoredWavelengths assigns the greedy conflict-graph color of each path
+// reduced modulo B. With B at least the greedy color count the first
+// round is collision-free (a static RWA); with smaller B the coloring
+// still separates most conflicting pairs. The coloring is computed once
+// per collection and reused across rounds.
+// A ColoredWavelengths value may be shared by concurrent runs; the
+// coloring cache is guarded.
+type ColoredWavelengths struct {
+	mu        sync.Mutex
+	colorsFor *paths.Collection
+	colors    []int
+}
+
+// Assign implements WavelengthPolicy.
+func (p *ColoredWavelengths) Assign(round int, active []int, c *paths.Collection, bandwidth int, src *rng.Source) []int {
+	p.mu.Lock()
+	if p.colorsFor != c {
+		p.colors, _ = c.GreedyWavelengthAssignment()
+		p.colorsFor = c
+	}
+	colors := p.colors
+	p.mu.Unlock()
+	out := make([]int, len(active))
+	for i, idx := range active {
+		out[i] = colors[idx] % bandwidth
+	}
+	return out
+}
+
+// Name implements WavelengthPolicy.
+func (p *ColoredWavelengths) Name() string { return "colored" }

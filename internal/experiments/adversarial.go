@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/optical"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// E17AdversarialPermutations contrasts the random workloads of the
+// application theorems with classic worst-case permutations. The paper's
+// bounds are stated in terms of the path congestion C~, so deterministic
+// permutations that concentrate traffic (bit-reversal and transpose under
+// dimension-order routing) should cost proportionally more time — the
+// protocol has no bad inputs beyond what C~ already predicts.
+func E17AdversarialPermutations(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "E17",
+		Title: "Random vs adversarial permutations: C~ predicts the cost",
+		Notes: []string{
+			"time/C~ stays flat across random and adversarial permutations:",
+			"the path congestion fully predicts the cost, no hidden bad cases",
+		},
+		Columns: []string{"network", "permutation", "n", "C~", "rounds", "time", "time/C~", "ok"},
+	}
+	k := 8 // mesh side 2^(k/2), butterfly dim k
+	if o.Quick {
+		k = 4
+	}
+	src := rng.New(o.Seed ^ 0x17)
+	const L, B = 4, 2
+
+	// Mesh scenarios: random vs transpose vs bit-reversal (row-major ids).
+	side := 1 << (k / 2)
+	m := topology.NewMesh(2, side)
+	n := m.Graph().NumNodes()
+	meshWLs := []struct {
+		name string
+		prs  []paths.Pair
+	}{
+		{"random", paths.RandomPermutation(n, src.Split())},
+		{"transpose", paths.Transpose(side)},
+		{"bit-reversal", paths.BitReversal(k)},
+	}
+	for _, wl := range meshWLs {
+		c, err := paths.Build(m.Graph(), wl.prs, paths.DimOrderMesh(m))
+		if err != nil {
+			return nil, err
+		}
+		ts, err := runTrials(c, core.Config{
+			Bandwidth: B, Length: L, Rule: optical.ServeFirst, AckLength: 1,
+		}, o.trials(5), src)
+		if err != nil {
+			return nil, err
+		}
+		p := ts.Params
+		t.AddRow(m.Name(), wl.name, p.N, p.PathCongestion, ts.meanRounds(),
+			ts.meanTime(), ts.meanTime()/float64(p.PathCongestion), ts.completedStr())
+	}
+
+	// Butterfly scenarios: random vs bit-reversal input-output permutation.
+	bf := topology.NewButterfly(k)
+	rev := make([]int, bf.Rows())
+	for r := range rev {
+		for b := 0; b < k; b++ {
+			if r&(1<<b) != 0 {
+				rev[r] |= 1 << (k - 1 - b)
+			}
+		}
+	}
+	bfWLs := []struct {
+		name string
+		prs  []paths.Pair
+	}{
+		{"random", paths.ButterflyRandomQFunction(bf, 1, src.Split())},
+		{"bit-reversal", paths.ButterflyPermutation(bf, rev)},
+	}
+	for _, wl := range bfWLs {
+		c, err := paths.Build(bf.Graph(), wl.prs, paths.ButterflySelector(bf))
+		if err != nil {
+			return nil, err
+		}
+		ts, err := runTrials(c, core.Config{
+			Bandwidth: B, Length: L, Rule: optical.ServeFirst, AckLength: 1,
+		}, o.trials(5), src)
+		if err != nil {
+			return nil, err
+		}
+		p := ts.Params
+		t.AddRow(bf.Name(), wl.name, p.N, p.PathCongestion, ts.meanRounds(),
+			ts.meanTime(), ts.meanTime()/float64(p.PathCongestion), ts.completedStr())
+	}
+	return t, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/optical"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// E10Conversion addresses the paper's framing question ("how far one can
+// get without wavelength conversion", Section 1.2/4): the same workloads
+// routed with and without wavelength conversion at every router, across a
+// bandwidth ladder. Conversion mainly removes the residual-collision
+// rounds; the first-round L*C/B transmission term is unchanged, so the
+// advantage is a constant factor — consistent with the paper's thesis
+// that simple converter-free routers already achieve near-optimal time.
+func E10Conversion(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "Sec. 4 extension: wavelength conversion vs none (torus random functions)",
+		Notes: []string{
+			"conversion removes retry rounds but not the L*C/B term",
+		},
+		Columns: []string{"B", "no-conv rounds", "no-conv time", "conv rounds", "conv time", "time ratio", "ok"},
+	}
+	side := 12
+	if o.Quick {
+		side = 5
+	}
+	src := rng.New(o.Seed ^ 0x10)
+	tor := topology.NewTorus(2, side)
+	prs := paths.RandomFunction(tor.Graph().NumNodes(), src.Split())
+	c, err := paths.Build(tor.Graph(), prs, paths.DimOrderTorus(tor))
+	if err != nil {
+		return nil, err
+	}
+	const L = 8
+	for _, B := range []int{2, 4, 8} {
+		base, err := runTrials(c, core.Config{
+			Bandwidth: B, Length: L, Rule: optical.ServeFirst, AckLength: 1,
+		}, o.trials(5), src)
+		if err != nil {
+			return nil, err
+		}
+		conv, err := runTrials(c, core.Config{
+			Bandwidth: B, Length: L, Rule: optical.ServeFirst, AckLength: 1,
+			Conversion: sim.FullConversion,
+		}, o.trials(5), src)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(B, base.meanRounds(), base.meanTime(), conv.meanRounds(), conv.meanTime(),
+			base.meanTime()/conv.meanTime(),
+			fmt.Sprintf("%s/%s", base.completedStr(), conv.completedStr()))
+	}
+	return t, nil
+}
+
+// E11SparseConversion explores the paper's closing question (Section 4,
+// citing Lee & Li [23]): what if only a few routers can convert
+// wavelengths? The fraction of converting routers is swept from 0 to 1;
+// the benefit should saturate well below full deployment.
+func E11SparseConversion(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "Sec. 4 open question: sparse wavelength conversion (fraction sweep)",
+		Notes: []string{
+			"collision retries shrink as the converting fraction grows; gains saturate early",
+		},
+		Columns: []string{"fraction", "rounds", "time", "collisions/round1", "ok"},
+	}
+	side := 12
+	if o.Quick {
+		side = 5
+	}
+	src := rng.New(o.Seed ^ 0x11)
+	tor := topology.NewTorus(2, side)
+	n := tor.Graph().NumNodes()
+	prs := paths.RandomFunction(n, src.Split())
+	c, err := paths.Build(tor.Graph(), prs, paths.DimOrderTorus(tor))
+	if err != nil {
+		return nil, err
+	}
+	const L, B = 8, 3
+	for _, fr := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		// A deterministic converting subset of the routers.
+		perm := rng.New(o.Seed ^ 0x1111).Perm(n)
+		cut := int(fr * float64(n))
+		converts := make(map[graph.NodeID]bool, cut)
+		for _, u := range perm[:cut] {
+			converts[u] = true
+		}
+		var conv func(graph.NodeID) bool
+		if cut > 0 {
+			conv = func(u graph.NodeID) bool { return converts[u] }
+		}
+		rounds, times, coll1 := 0.0, 0.0, 0.0
+		trials := o.trials(5)
+		completed := 0
+		for i := 0; i < trials; i++ {
+			res, err := core.Run(c, core.Config{
+				Bandwidth: B, Length: L, Rule: optical.ServeFirst, AckLength: 1,
+				Conversion: conv,
+			}, src.Split())
+			if err != nil {
+				return nil, err
+			}
+			rounds += float64(res.TotalRounds)
+			times += float64(res.TotalTime)
+			coll1 += float64(res.Rounds[0].Collisions)
+			if res.AllDelivered {
+				completed++
+			}
+		}
+		ft := float64(trials)
+		t.AddRow(fr, rounds/ft, times/ft, coll1/ft, fmt.Sprintf("%d/%d", completed, trials))
+	}
+	return t, nil
+}

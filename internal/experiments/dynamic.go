@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/optical"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// E15DynamicLoad runs the trial-and-failure discipline in continuous
+// operation (the dynamic setting of Ramaswami & Sivarajan [34], which the
+// paper cites as the other regime): Poisson-like request arrivals on a
+// torus, each source retrying independently with exponential backoff. As
+// the offered load approaches the network's capacity the latency and the
+// attempt count blow up — the classic saturation knee.
+func E15DynamicLoad(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "E15",
+		Title: "Dynamic operation: Poisson arrivals, independent retries with backoff",
+		Notes: []string{
+			"latency and attempts/request rise sharply at the saturation knee",
+		},
+		Columns: []string{"load(req/step)", "requests", "delivered", "attempts/req", "lat(mean)", "lat(p95)"},
+	}
+	side := 8
+	horizon := 2000
+	if o.Quick {
+		side = 5
+		horizon = 300
+	}
+	tor := topology.NewTorus(2, side)
+	g := tor.Graph()
+	n := g.NumNodes()
+	const L, B = 4, 2
+	for _, load := range []float64{0.05, 0.5, 2, 8, 32} {
+		src := rng.New(o.Seed ^ 0x15)
+		var reqs []sim.Request
+		tArr := 0.0
+		id := 0
+		for {
+			// Poisson process: exponential inter-arrival times; several
+			// requests may share one integer step at high load.
+			u := src.Float64()
+			for u == 0 {
+				u = src.Float64()
+			}
+			tArr += -math.Log(u) / load
+			if int(tArr) >= horizon {
+				break
+			}
+			s, d := src.Intn(n), src.Intn(n)
+			if s == d {
+				continue
+			}
+			reqs = append(reqs, sim.Request{
+				ID: id, Path: g.ShortestPath(s, d), Length: L, Arrival: int(tArr),
+			})
+			id++
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		res, err := sim.RunDynamic(g, reqs, sim.DynamicConfig{
+			Sim:         sim.Config{Bandwidth: B, Rule: optical.ServeFirst, AckLength: 1},
+			Retry:       sim.ExponentialBackoff{Base: 2 * L},
+			MaxAttempts: 40,
+		}, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		delivered := 0
+		var lats []float64
+		for _, oc := range res.Outcomes {
+			if oc.Delivered {
+				delivered++
+				lats = append(lats, float64(oc.Latency))
+			}
+		}
+		latMean, latP95 := 0.0, 0.0
+		if len(lats) > 0 {
+			latMean = stats.Mean(lats)
+			latP95 = stats.Quantile(lats, 0.95)
+		}
+		t.AddRow(load, len(reqs),
+			fmt.Sprintf("%d/%d", delivered, len(reqs)),
+			float64(res.TotalAttempts)/float64(len(reqs)),
+			latMean, latP95)
+	}
+	return t, nil
+}

@@ -1,0 +1,182 @@
+// Package experiments implements the benchmark harness: one runnable
+// experiment per theorem, figure and ablation of the paper, as indexed in
+// DESIGN.md. Each experiment returns a Table whose rows are the series the
+// paper's bound predicts; EXPERIMENTS.md records paper-vs-measured.
+//
+// All experiments are driven by a single seed and a Quick flag (smaller
+// ladders for tests and benches), and print deterministically.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Seed drives all randomness; equal seeds reproduce tables exactly.
+	Seed uint64
+	// Trials is the number of Monte-Carlo repetitions per configuration
+	// (0 means the experiment's default).
+	Trials int
+	// Quick shrinks problem-size ladders for tests and benchmarks.
+	Quick bool
+}
+
+func (o Options) trials(def int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	if o.Quick && def > 3 {
+		return 3
+	}
+	return def
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Notes   []string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row; values are rendered with %v.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "   %s\n", n)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "   %s\n", strings.Join(parts, "  "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, r := range t.Rows {
+		printRow(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteJSON renders the table as a JSON object with id, title, notes,
+// columns and rows — for downstream plotting tools.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Notes   []string   `json:"notes,omitempty"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.ID, t.Title, t.Notes, t.Columns, t.Rows})
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) (*Table, error)
+
+// Registry maps experiment IDs to their runners.
+var Registry = map[string]Runner{
+	"E1":  E1LeveledUpper,
+	"E2":  E2StaggeredLower,
+	"E3":  E3ShortcutFreeUpper,
+	"E4":  E4CyclicLower,
+	"E5":  E5PriorityVsServeFirst,
+	"E6":  E6CongestionDecay,
+	"E7":  E7NodeSymmetric,
+	"E8":  E8Meshes,
+	"E9":  E9ButterflyQ,
+	"E10": E10Conversion,
+	"E11": E11SparseConversion,
+	"E12": E12MultiHop,
+	"E13": E13RWAContrast,
+	"E14": E14Lemma210,
+	"E15": E15DynamicLoad,
+	"E16": E16ElectronicBaseline,
+	"E17": E17AdversarialPermutations,
+	"A1":  A1Schedules,
+	"A2":  A2Wreckage,
+	"A3":  A3Acks,
+	"A4":  A4TiePolicy,
+	"A5":  A5Constants,
+	"A6":  A6WavelengthChoice,
+	"A7":  A7Synchronization,
+	"F4":  F4Witness,
+	"F5":  F5WitnessDepths,
+	"S1":  S1Scorecard,
+}
+
+// IDs returns the registered experiment identifiers in order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string, o Options) (*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(o)
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(o Options, w io.Writer) error {
+	for _, id := range IDs() {
+		tbl, err := Run(id, o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		tbl.Fprint(w)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Seed: 12345, Quick: true, Trials: 2} }
+
+func TestRegistryAndIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatal("IDs incomplete")
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+	if _, err := Run("nope", quickOpts()); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Run(id, quickOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if tbl.ID != id {
+				t.Errorf("table ID = %q", tbl.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Errorf("%s produced no rows", id)
+			}
+			for _, r := range tbl.Rows {
+				if len(r) != len(tbl.Columns) {
+					t.Errorf("%s row width %d != %d columns", id, len(r), len(tbl.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			tbl.Fprint(&buf)
+			if !strings.Contains(buf.String(), id) {
+				t.Errorf("printed table missing ID")
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(quickOpts(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(buf.String(), "== "+id+":") {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}
+
+func TestDeterministicTables(t *testing.T) {
+	a, err := Run("E5", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("E5", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatal("row counts differ")
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("cell (%d,%d) differs: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+// TestE5Separation checks the headline result's direction even at quick
+// scale: serve-first needs at least as many rounds as priority on the
+// cyclic gadgets (strictly more at full scale).
+func TestE5Separation(t *testing.T) {
+	tbl, err := Run("E5", Options{Seed: 999, Quick: true, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	sf, err1 := strconv.ParseFloat(last[2], 64)
+	pr, err2 := strconv.ParseFloat(last[3], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("cannot parse rounds from row %v", last)
+	}
+	if sf < pr {
+		t.Errorf("serve-first rounds %.2f < priority rounds %.2f: separation inverted", sf, pr)
+	}
+}
+
+// TestE6Decay checks the congestion column is non-increasing and the
+// protocol finishes.
+func TestE6Decay(t *testing.T) {
+	tbl, err := Run("E6", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 30
+	for _, r := range tbl.Rows {
+		cur, err := strconv.Atoi(r[2])
+		if err != nil {
+			t.Fatalf("residual congestion cell %q", r[2])
+		}
+		if cur > prev {
+			t.Errorf("residual congestion grew: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+	joined := strings.Join(tbl.Notes, " ")
+	if !strings.Contains(joined, "all worms delivered") {
+		t.Errorf("E6 did not complete: notes = %v", tbl.Notes)
+	}
+}
+
+// TestF4CyclesOnlyInCyclicGadget: the forest property must hold for the
+// leveled and priority scenarios.
+func TestF4Forests(t *testing.T) {
+	tbl, err := Run("F4", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Rows {
+		name, claim := r[0], r[4]
+		if strings.Contains(name, "leveled") || strings.Contains(name, "priority") {
+			if claim != "true" {
+				t.Errorf("%s: claim2.6 = %s, want true", name, claim)
+			}
+		}
+	}
+}
+
+func TestOptionsTrials(t *testing.T) {
+	if (Options{}).trials(5) != 5 {
+		t.Error("default trials")
+	}
+	if (Options{Trials: 7}).trials(5) != 7 {
+		t.Error("explicit trials")
+	}
+	if (Options{Quick: true}).trials(10) != 3 {
+		t.Error("quick trials")
+	}
+}
+
+func TestTableAddRowFormatting(t *testing.T) {
+	tbl := &Table{ID: "X", Columns: []string{"a", "b"}}
+	tbl.AddRow(1.23456, "s")
+	if tbl.Rows[0][0] != "1.23" || tbl.Rows[0][1] != "s" {
+		t.Errorf("row = %v", tbl.Rows[0])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tbl := &Table{
+		ID: "X", Title: "demo", Notes: []string{"n"},
+		Columns: []string{"a", "b"},
+	}
+	tbl.AddRow(1, "two")
+	var buf bytes.Buffer
+	if err := tbl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "X" || len(decoded.Rows) != 1 || decoded.Rows[0][1] != "two" {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+// TestScorecardAllHold asserts every headline claim verifies at quick
+// scale — the continuous-integration face of the reproduction.
+func TestScorecardAllHold(t *testing.T) {
+	tbl, err := Run("S1", Options{Seed: 7, Quick: true, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Rows {
+		if r[2] != "true" {
+			t.Errorf("claim %q does not hold: %v", r[0], r)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// trialStats aggregates protocol runs over repeated trials.
+type trialStats struct {
+	Rounds    []float64
+	Time      []float64 // the paper's accounted time
+	Measured  []float64 // simulated makespan sum
+	Completed int
+	Params    core.Params
+}
+
+// runTrials executes the protocol `trials` times with independent rng
+// streams split from src and aggregates the results. Trials run on all
+// available cores; determinism is preserved because every stream is split
+// from src before any goroutine starts and results are collected by index.
+func runTrials(c *paths.Collection, cfg core.Config, trials int, src *rng.Source) (*trialStats, error) {
+	sources := src.SplitN(trials)
+	results := make([]*core.Result, trials)
+	errs := make([]error, trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < trials; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = core.Run(c, cfg, sources[i])
+		}(i)
+	}
+	wg.Wait()
+	ts := &trialStats{}
+	for i := 0; i < trials; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res := results[i]
+		ts.Rounds = append(ts.Rounds, float64(res.TotalRounds))
+		ts.Time = append(ts.Time, float64(res.TotalTime))
+		ts.Measured = append(ts.Measured, float64(res.MeasuredTime))
+		if res.AllDelivered {
+			ts.Completed++
+		}
+		ts.Params = res.Params
+	}
+	return ts, nil
+}
+
+func (ts *trialStats) meanRounds() float64 { return stats.Mean(ts.Rounds) }
+func (ts *trialStats) meanTime() float64   { return stats.Mean(ts.Time) }
+
+// completedStr formats "completed/trials".
+func (ts *trialStats) completedStr() string {
+	return fmt.Sprintf("%d/%d", ts.Completed, len(ts.Rounds))
+}
+
+// log2 of x clamped at >= 2 so the paper's log n terms stay positive.
+func log2(x float64) float64 { return math.Log2(math.Max(x, 2)) }
+
+// paperAlpha is alpha = C + B*(D/L + 1) + 2 of the main theorems.
+func paperAlpha(p core.Params) float64 {
+	return float64(p.PathCongestion) +
+		float64(p.Bandwidth)*(float64(p.Dilation)/float64(p.Length)+1) + 2
+}
+
+// paperBeta is beta = alpha/C + 2.
+func paperBeta(p core.Params) float64 {
+	return paperAlpha(p)/math.Max(float64(p.PathCongestion), 1) + 2
+}
+
+// logBase returns log_base(x), clamped to be >= 0 with base > 1.
+func logBase(base, x float64) float64 {
+	base = math.Max(base, 2)
+	x = math.Max(x, 2)
+	return math.Log(x) / math.Log(base)
+}
+
+// roundBound11 is the round count T of Main Theorems 1.1/1.3:
+// sqrt(log_alpha n) + log log_beta n.
+func roundBound11(p core.Params) float64 {
+	n := float64(p.N)
+	t := math.Sqrt(logBase(paperAlpha(p), n)) + math.Log2(math.Max(logBase(paperBeta(p), n), 2))
+	return math.Max(t, 1)
+}
+
+// roundBound12 is the round count of Main Theorem 1.2:
+// log_alpha n + log log_beta n.
+func roundBound12(p core.Params) float64 {
+	n := float64(p.N)
+	t := logBase(paperAlpha(p), n) + math.Log2(math.Max(logBase(paperBeta(p), n), 2))
+	return math.Max(t, 1)
+}
+
+// timeBound11 is the full runtime bound of Main Theorems 1.1/1.3:
+// L*C/B + T*(D + L + L*log n/B).
+func timeBound11(p core.Params) float64 {
+	l, b := float64(p.Length), float64(p.Bandwidth)
+	return l*float64(p.PathCongestion)/b +
+		roundBound11(p)*(float64(p.Dilation)+l+l*log2(float64(p.N))/b)
+}
+
+// timeBound12 is the runtime bound of Main Theorem 1.2:
+// L*C/B + T*(D + L + L*log^{3/2} n/B).
+func timeBound12(p core.Params) float64 {
+	l, b := float64(p.Length), float64(p.Bandwidth)
+	logn := log2(float64(p.N))
+	return l*float64(p.PathCongestion)/b +
+		roundBound12(p)*(float64(p.Dilation)+l+l*math.Pow(logn, 1.5)/b)
+}

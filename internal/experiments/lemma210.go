@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/optical"
+	"repro/internal/rng"
+)
+
+// E14Lemma210 reproduces Lemma 2.10 / Appendix A.3: on a type-2 structure
+// of C identical paths with a FIXED delay range Delta >= L*(C/B + 2), the
+// number of surviving worms can only decay doubly exponentially — the
+// lemma's lower bound is C / gamma^(2^(t-1)-1) with
+// gamma = 32*B*Delta/((L-1)*C). Consequently clearing the structure takes
+// Theta(log log C) rounds, the loglog term of the main theorems.
+func E14Lemma210(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "E14",
+		Title: "Lemma 2.10: doubly-exponential survivor decay on C identical paths, fixed Delta",
+		Notes: []string{
+			"the per-round decay factor itself grows (doubly exponential decay),",
+			"so rounds-to-clear ~ loglog C; Lemma 2.10's explicit lower bound holds",
+			"with lots of room (its constant 32 is loose, like all proof constants)",
+		},
+		Columns: []string{"C", "round", "survivors(mean)", "decay factor", "lemma bound", "loglog C"},
+	}
+	congestions := []int{64, 256, 1024}
+	if o.Quick {
+		congestions = []int{16, 64}
+	}
+	src := rng.New(o.Seed ^ 0x14)
+	const L, B, D = 4, 1, 6
+	for _, C := range congestions {
+		delta := L * (C/B + 2) // the lemma's minimum delay range
+		gamma := 32.0 * float64(B*delta) / float64((L-1)*C)
+		trials := o.trials(5)
+		// survivors[t] accumulates the active count at the START of round
+		// t+1 over trials; rounds beyond a trial's finish add zero.
+		var survivors []float64
+		maxRounds := 0
+		for i := 0; i < trials; i++ {
+			b := lowerbound.Identical(1, C, D)
+			res, err := core.Run(b.Collection, core.Config{
+				Bandwidth: B, Length: L, Rule: optical.ServeFirst,
+				Schedule:  core.ConstantSchedule{Delta: delta},
+				MaxRounds: 100,
+			}, src.Split())
+			if err != nil {
+				return nil, err
+			}
+			for r, st := range res.Rounds {
+				for len(survivors) <= r {
+					survivors = append(survivors, 0)
+				}
+				survivors[r] += float64(st.ActiveBefore)
+			}
+			if res.TotalRounds > maxRounds {
+				maxRounds = res.TotalRounds
+			}
+		}
+		loglog := math.Log2(math.Max(math.Log2(float64(C)), 2))
+		for r := 0; r < maxRounds; r++ {
+			bound := float64(C) / math.Pow(gamma, math.Pow(2, float64(r))-1)
+			cur := survivors[r] / float64(trials)
+			decay := "-"
+			if r > 0 && cur > 0 {
+				decay = fmt.Sprintf("%.1f", survivors[r-1]/float64(trials)/cur)
+			}
+			t.AddRow(C, r+1, cur, decay, fmt.Sprintf("%.3g", bound), loglog)
+		}
+	}
+	return t, nil
+}
+
+// A5Constants calibrates the halving schedule's leading constant C1
+// against the paper's 32: how small can the delay ranges go before the
+// protocol starts needing extra rounds or failing? The total time is
+// roughly proportional to C1 once C1 dominates, so the practical optimum
+// sits far below the proof constant.
+func A5Constants(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "A5",
+		Title: "Ablation: halving-schedule constant C1 (paper uses 32)",
+		Notes: []string{
+			"smaller C1 = shorter rounds but more retries; the optimum is far below 32",
+		},
+		Columns: []string{"C1", "rounds", "time", "ok"},
+	}
+	c, src, err := ablationWorkload(o, o.Seed^0xA5)
+	if err != nil {
+		return nil, err
+	}
+	for _, c1 := range []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32} {
+		ts, err := runTrials(c, core.Config{
+			Bandwidth: 2, Length: 4, Rule: optical.ServeFirst,
+			Schedule:  core.HalvingSchedule{C1: c1, C2: c1 / 2, C3: c1 / 2},
+			AckLength: 1,
+		}, o.trials(5), src)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c1, ts.meanRounds(), ts.meanTime(), ts.completedStr())
+	}
+	return t, nil
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestProbeFull(t *testing.T) {
+	id := os.Getenv("PROBE")
+	if id == "" {
+		t.Skip("probe only")
+	}
+	tbl, err := Run(id, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Fprint(os.Stdout)
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/optical"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/witness"
+)
+
+// S1Scorecard runs compact versions of the headline checks and prints one
+// verdict per claim of the paper — the one-screen reproduction summary.
+// Each verdict is computed from fresh seeded runs, not hard-coded.
+func S1Scorecard(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "S1",
+		Title:   "Reproduction scorecard: one verdict per headline claim",
+		Columns: []string{"claim", "evidence", "holds"},
+	}
+	src := rng.New(o.Seed ^ 0x51)
+	scale := 1
+	if o.Quick {
+		scale = 0
+	}
+
+	// Claim 1: the protocol delivers every leveled workload within the
+	// Thm 1.1 round budget T = sqrt(log_a n) + loglog_b n (x a small
+	// constant).
+	{
+		k := 6 + 2*scale
+		b := topology.NewButterfly(k)
+		prs := paths.ButterflyRandomQFunction(b, 2, src.Split())
+		c, err := paths.Build(b.Graph(), prs, paths.ButterflySelector(b))
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Run(c, core.Config{
+			Bandwidth: 2, Length: 4, Rule: optical.ServeFirst, AckLength: 1,
+		}, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		budget := 3 * roundBound11(res.Params)
+		t.AddRow("Thm 1.1: leveled rounds within T budget",
+			fmt.Sprintf("%d rounds vs budget %.1f", res.TotalRounds, budget),
+			res.AllDelivered && float64(res.TotalRounds) <= budget)
+	}
+
+	// Claim 2: serve-first on cyclic gadgets needs more rounds than
+	// priority (Thm 1.2 vs 1.3 separation).
+	{
+		structs := 64 << (4 * scale)
+		gad := lowerbound.Cyclic(structs, 6, 4)
+		sf, err := runTrials(gad.Collection, core.Config{
+			Bandwidth: 1, Length: 4, Rule: optical.ServeFirst,
+			Schedule: core.ConstantSchedule{Delta: 8}, MaxRounds: 500,
+		}, o.trials(5), src)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := runTrials(gad.Collection, core.Config{
+			Bandwidth: 1, Length: 4, Rule: optical.Priority,
+			Priorities: core.RandomRanks{},
+			Schedule:   core.ConstantSchedule{Delta: 8}, MaxRounds: 500,
+		}, o.trials(5), src)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Thm 1.2 vs 1.3: priority beats serve-first on cycles",
+			fmt.Sprintf("SF %.1f vs priority %.1f rounds", sf.meanRounds(), pr.meanRounds()),
+			sf.meanRounds() > pr.meanRounds())
+	}
+
+	// Claim 3: Lemma 2.4 — congestion at most ~halves per round under the
+	// halving schedule.
+	{
+		cgst := 128 << (2 * scale)
+		gad := lowerbound.Identical(1, cgst, 6)
+		res, err := core.Run(gad.Collection, core.Config{
+			Bandwidth: 1, Length: 4, Rule: optical.ServeFirst,
+			TrackCongestion: true, MaxRounds: 100,
+		}, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		ok := res.AllDelivered
+		for i := 1; i < len(res.Rounds); i++ {
+			prev := float64(res.Rounds[i-1].ResidualCongestion)
+			cur := float64(res.Rounds[i].ResidualCongestion)
+			if cur > math.Max(prev/2, 4*math.Log2(float64(cgst))) {
+				ok = false
+			}
+		}
+		t.AddRow("Lemma 2.4: congestion halves per round",
+			fmt.Sprintf("%d rounds from C=%d", res.TotalRounds, cgst), ok)
+	}
+
+	// Claim 4: Claim 2.6 — no proper blocking cycles for priority routing
+	// on short-cut free collections.
+	{
+		tor := topology.NewTorus(2, 6+4*scale)
+		prs := paths.RandomPermutation(tor.Graph().NumNodes(), src.Split())
+		c, err := paths.Build(tor.Graph(), prs, paths.DimOrderTorus(tor))
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Run(c, core.Config{
+			Bandwidth: 1, Length: 4, Rule: optical.Priority,
+			Priorities: core.RandomRanks{}, RecordCollisions: true,
+		}, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		a := witness.Analyze(res.RoundTraces)
+		t.AddRow("Claim 2.6: priority blocking graphs are forests",
+			fmt.Sprintf("%d proper cycles in %d rounds", a.TotalProperCycles(), res.TotalRounds),
+			a.SatisfiesClaim26())
+	}
+
+	// Claim 5: Thm 1.6 — mesh round counts essentially flat in n.
+	{
+		small, err := meshRounds(6, src, o)
+		if err != nil {
+			return nil, err
+		}
+		big, err := meshRounds(12+12*scale, src, o)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Thm 1.6: mesh rounds ~flat in n (loglog growth)",
+			fmt.Sprintf("side 6: %.1f rounds, side %d: %.1f rounds", small, 12+12*scale, big),
+			big <= small+2)
+	}
+
+	// Claim 6: the fitted E4 growth is steeper than the fitted E2 growth
+	// per log2 n (serve-first penalty on cyclic collections).
+	{
+		var e2x, e2y, e4x, e4y []float64
+		for _, structs := range []int{8, 64, 512} {
+			g1 := lowerbound.Staggered(structs, 4, 12, 4)
+			ts1, err := runTrials(g1.Collection, core.Config{
+				Bandwidth: 1, Length: 4, Rule: optical.ServeFirst,
+				Schedule: core.ConstantSchedule{Delta: 8}, MaxRounds: 500,
+			}, o.trials(5), src)
+			if err != nil {
+				return nil, err
+			}
+			e2x = append(e2x, log2(float64(g1.Collection.Size())))
+			e2y = append(e2y, ts1.meanRounds())
+			g2 := lowerbound.Cyclic(structs, 6, 4)
+			ts2, err := runTrials(g2.Collection, core.Config{
+				Bandwidth: 1, Length: 4, Rule: optical.ServeFirst,
+				Schedule: core.ConstantSchedule{Delta: 8}, MaxRounds: 500,
+			}, o.trials(5), src)
+			if err != nil {
+				return nil, err
+			}
+			e4x = append(e4x, log2(float64(g2.Collection.Size())))
+			e4y = append(e4y, ts2.meanRounds())
+		}
+		f2, err2 := stats.FitLinear(e2x, e2y)
+		f4, err4 := stats.FitLinear(e4x, e4y)
+		ok := err2 == nil && err4 == nil && f4.Slope > f2.Slope
+		t.AddRow("Lower bounds: cyclic growth steeper than staggered",
+			fmt.Sprintf("slopes %.2f vs %.2f per log2 n", f4.Slope, f2.Slope), ok)
+	}
+	return t, nil
+}
+
+// meshRounds returns the mean protocol round count for a random function
+// on a 2-D mesh of the given side.
+func meshRounds(side int, src *rng.Source, o Options) (float64, error) {
+	m := topology.NewMesh(2, side)
+	prs := paths.RandomFunction(m.Graph().NumNodes(), src.Split())
+	c, err := paths.Build(m.Graph(), prs, paths.DimOrderMesh(m))
+	if err != nil {
+		return 0, err
+	}
+	ts, err := runTrials(c, core.Config{
+		Bandwidth: 2, Length: 4, Rule: optical.ServeFirst, AckLength: 1,
+	}, o.trials(5), src)
+	if err != nil {
+		return 0, err
+	}
+	return ts.meanRounds(), nil
+}

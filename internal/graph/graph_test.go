@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// ringGraph builds a cycle on n nodes.
+func ringGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func TestNewPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.NumEdges() != 2 || g.NumLinks() != 4 {
+		t.Fatalf("edges/links = %d/%d, want 2/4", g.NumEdges(), g.NumLinks())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge should be symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("nonexistent edge reported")
+	}
+	// Duplicate add is a no-op.
+	g.AddEdge(1, 0)
+	if g.NumEdges() != 2 {
+		t.Errorf("duplicate AddEdge changed edge count to %d", g.NumEdges())
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"self-loop":    func() { New(2).AddEdge(1, 1) },
+		"out-of-range": func() { New(2).AddEdge(0, 5) },
+		"negative":     func() { New(2).AddEdge(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLinkDirections(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	fwd, ok := g.LinkBetween(0, 1)
+	if !ok {
+		t.Fatal("missing forward link")
+	}
+	bwd, ok := g.LinkBetween(1, 0)
+	if !ok {
+		t.Fatal("missing backward link")
+	}
+	if fwd == bwd {
+		t.Fatal("forward and backward links must be distinct")
+	}
+	if g.Link(fwd) != (Link{From: 0, To: 1}) {
+		t.Errorf("fwd link endpoints wrong: %+v", g.Link(fwd))
+	}
+	if g.Reverse(fwd) != bwd || g.Reverse(bwd) != fwd {
+		t.Error("Reverse is not an involution between the two directions")
+	}
+}
+
+func TestOutInDegree(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if g.Degree(0) != 3 || g.Degree(1) != 1 {
+		t.Errorf("degrees wrong: %d, %d", g.Degree(0), g.Degree(1))
+	}
+	if len(g.Out(0)) != 3 || len(g.In(0)) != 3 {
+		t.Errorf("out/in sizes at hub: %d/%d", len(g.Out(0)), len(g.In(0)))
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+	ns := g.Neighbors(0)
+	if len(ns) != 3 || ns[0] != 1 || ns[1] != 2 || ns[2] != 3 {
+		t.Errorf("Neighbors(0) = %v", ns)
+	}
+}
+
+func TestBFSRing(t *testing.T) {
+	g := ringGraph(6)
+	dist := g.BFS(0)
+	want := []int{0, 1, 2, 3, 2, 1}
+	for i, d := range dist {
+		if d != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d, want[i])
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	dist := g.BFS(0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Errorf("unreachable nodes should have distance -1: %v", dist)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported as connected")
+	}
+	if g.Diameter() != -1 {
+		t.Error("disconnected diameter should be -1")
+	}
+	if g.Eccentricity(0) != -1 {
+		t.Error("eccentricity with unreachable nodes should be -1")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := ringGraph(8)
+	p := g.ShortestPath(0, 3)
+	if p.Len() != 3 || p.Source() != 0 || p.Dest() != 3 {
+		t.Fatalf("shortest path 0->3 on ring8: %v", p)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if q := g.ShortestPath(2, 2); len(q) != 1 || q[0] != 2 {
+		t.Errorf("trivial path = %v", q)
+	}
+	g2 := New(3)
+	g2.AddEdge(0, 1)
+	if g.ShortestPath(0, 0) == nil {
+		t.Error("self path should not be nil")
+	}
+	if p := g2.ShortestPath(0, 2); p != nil {
+		t.Errorf("unreachable path should be nil, got %v", p)
+	}
+}
+
+func TestDiameterAndEccentricity(t *testing.T) {
+	g := ringGraph(10)
+	if d := g.Diameter(); d != 5 {
+		t.Errorf("ring10 diameter = %d, want 5", d)
+	}
+	if e := g.Eccentricity(3); e != 5 {
+		t.Errorf("ring10 eccentricity = %d, want 5", e)
+	}
+}
+
+func TestConnectedSingleNode(t *testing.T) {
+	if !New(1).Connected() {
+		t.Error("single node graph should be connected")
+	}
+}
+
+func TestNodeLabel(t *testing.T) {
+	g := New(2)
+	if g.NodeLabel(1) != "1" {
+		t.Errorf("default label = %q", g.NodeLabel(1))
+	}
+	g.SetLabeler(func(u NodeID) string { return "n" })
+	if g.NodeLabel(0) != "n" {
+		t.Error("custom labeler ignored")
+	}
+}
+
+func TestShortestPathIsShortestProperty(t *testing.T) {
+	r := rng.New(202)
+	check := func(seed uint16) bool {
+		src := rng.New(uint64(seed))
+		n := 5 + src.Intn(20)
+		g := New(n)
+		// Random connected graph: spanning chain + extra edges.
+		for i := 1; i < n; i++ {
+			g.AddEdge(i-1, i)
+		}
+		for k := 0; k < n; k++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		a, b := r.Intn(n), r.Intn(n)
+		p := g.ShortestPath(a, b)
+		if p == nil {
+			return false
+		}
+		return p.Len() == g.BFS(a)[b] && p.Validate(g) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSTriangleInequalityProperty(t *testing.T) {
+	check := func(seed uint16) bool {
+		src := rng.New(uint64(seed))
+		n := 4 + src.Intn(16)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(src.Intn(i), i)
+		}
+		u, v, w := src.Intn(n), src.Intn(n), src.Intn(n)
+		du := g.BFS(u)
+		dv := g.BFS(v)
+		return du[w] <= du[v]+dv[w]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	g := ringGraph(3)
+	var buf bytes.Buffer
+	g.WriteDot(&buf, "")
+	out := buf.String()
+	for _, want := range []string{"graph \"topology\"", "n0 -- n1", "n1 -- n2", "n0 -- n2", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one line per undirected edge.
+	if got := strings.Count(out, " -- "); got != 3 {
+		t.Errorf("edge lines = %d, want 3", got)
+	}
+	var named bytes.Buffer
+	g.WriteDot(&named, "ring")
+	if !strings.Contains(named.String(), "graph \"ring\"") {
+		t.Error("custom name ignored")
+	}
+}

@@ -1,0 +1,167 @@
+package optical
+
+import "fmt"
+
+// Router is an n x m all-optical routing element built from one
+// wavelength-selective switch per input fiber and one coupler per output
+// fiber, exactly as the 2x2 router of Figure 1. Signals presented at the
+// inputs are directed by the input's switch and merged by the output's
+// coupler, which resolves wavelength contention by its rule.
+type Router struct {
+	switches []Switch
+	couplers []*Coupler
+}
+
+// NewRouter builds an inputs x outputs router with generalized switches
+// and couplers using the given rule; the archetype NewRouter(2, 2, ...)
+// reproduces Figure 1. It panics unless all arguments are >= 1.
+func NewRouter(inputs, outputs, bandwidth int, rule Rule) *Router {
+	if inputs < 1 {
+		panic("optical: router needs at least one input")
+	}
+	sw := make([]Switch, inputs)
+	for i := range sw {
+		sw[i] = NewGeneralizedSwitch(outputs, bandwidth)
+	}
+	cp := make([]*Coupler, outputs)
+	for o := range cp {
+		cp[o] = NewCoupler(bandwidth, rule)
+	}
+	return &Router{switches: sw, couplers: cp}
+}
+
+// NewElementaryRouter builds a router whose inputs carry elementary
+// switches (the right-hand router of Figure 3): each input fiber is
+// directed as a whole, so different wavelengths of one input cannot
+// diverge.
+func NewElementaryRouter(inputs, outputs, bandwidth int, rule Rule) *Router {
+	if inputs < 1 {
+		panic("optical: router needs at least one input")
+	}
+	sw := make([]Switch, inputs)
+	for i := range sw {
+		sw[i] = NewElementarySwitch(outputs, bandwidth)
+	}
+	cp := make([]*Coupler, outputs)
+	for o := range cp {
+		cp[o] = NewCoupler(bandwidth, rule)
+	}
+	return &Router{switches: sw, couplers: cp}
+}
+
+// Inputs returns the number of input fibers.
+func (r *Router) Inputs() int { return len(r.switches) }
+
+// Outputs returns the number of output fibers.
+func (r *Router) Outputs() int { return len(r.couplers) }
+
+// Switch returns the switch at input i for configuration.
+func (r *Router) Switch(i int) Switch { return r.switches[i] }
+
+// Coupler returns the coupler at output o for inspection.
+func (r *Router) Coupler(o int) *Coupler { return r.couplers[o] }
+
+// Input is a signal presented at one input fiber of the router.
+type Input struct {
+	Port   int
+	Signal Signal
+}
+
+// Output is a signal delivered at one output fiber of the router.
+type Output struct {
+	Port   int
+	Signal Signal
+}
+
+// Step presents one time slot of input signals, routes them through the
+// switches, and resolves contention at the output couplers. It returns
+// the signals that appear on the outputs and those eliminated. Couplers
+// keep wavelength occupancy across steps; call ReleaseAll between
+// unrelated experiments.
+func (r *Router) Step(ins []Input) (outs []Output, eliminated []Signal) {
+	batches := make([][]Signal, len(r.couplers))
+	for _, in := range ins {
+		if in.Port < 0 || in.Port >= len(r.switches) {
+			panic(fmt.Sprintf("optical: input port %d out of [0,%d)", in.Port, len(r.switches)))
+		}
+		o := r.switches[in.Port].OutputFor(in.Signal.Wavelength)
+		batches[o] = append(batches[o], in.Signal)
+	}
+	for o, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		acc, elim := r.couplers[o].ArriveSimultaneous(batch)
+		for _, s := range acc {
+			outs = append(outs, Output{Port: o, Signal: s})
+		}
+		eliminated = append(eliminated, elim...)
+	}
+	return outs, eliminated
+}
+
+// ReleaseAll frees every wavelength of every output coupler.
+func (r *Router) ReleaseAll() {
+	for _, c := range r.couplers {
+		for w := 0; w < c.Bandwidth(); w++ {
+			c.Release(w)
+		}
+	}
+}
+
+// SwitchlessRouter is a non-reconfigurable router (the left-hand router of
+// Figure 3): a fixed assignment from (input, wavelength) to output that
+// cannot change.
+type SwitchlessRouter struct {
+	outputs   int
+	bandwidth int
+	assign    [][]int // assign[input][wavelength] = output
+}
+
+// NewSwitchlessRouter builds a switchless router from the fixed
+// assignment table assign[input][wavelength] = output. It panics on an
+// empty or ragged table or out-of-range outputs.
+func NewSwitchlessRouter(outputs int, assign [][]int) *SwitchlessRouter {
+	if outputs < 1 || len(assign) == 0 {
+		panic("optical: switchless router needs outputs and at least one input")
+	}
+	bw := len(assign[0])
+	if bw < 1 {
+		panic("optical: switchless router needs bandwidth >= 1")
+	}
+	for i, row := range assign {
+		if len(row) != bw {
+			panic(fmt.Sprintf("optical: ragged assignment at input %d", i))
+		}
+		for w, o := range row {
+			if o < 0 || o >= outputs {
+				panic(fmt.Sprintf("optical: assignment (%d,%d) -> %d out of [0,%d)", i, w, o, outputs))
+			}
+		}
+	}
+	cp := make([][]int, len(assign))
+	for i := range assign {
+		cp[i] = append([]int(nil), assign[i]...)
+	}
+	return &SwitchlessRouter{outputs: outputs, bandwidth: bw, assign: cp}
+}
+
+// Inputs returns the number of input fibers.
+func (r *SwitchlessRouter) Inputs() int { return len(r.assign) }
+
+// Outputs returns the number of output fibers.
+func (r *SwitchlessRouter) Outputs() int { return r.outputs }
+
+// Bandwidth returns the number of wavelengths.
+func (r *SwitchlessRouter) Bandwidth() int { return r.bandwidth }
+
+// OutputFor returns the fixed output for a signal at (input, wavelength).
+func (r *SwitchlessRouter) OutputFor(input, wavelength int) int {
+	if input < 0 || input >= len(r.assign) {
+		panic(fmt.Sprintf("optical: input %d out of [0,%d)", input, len(r.assign)))
+	}
+	if wavelength < 0 || wavelength >= r.bandwidth {
+		panic(fmt.Sprintf("optical: wavelength %d out of [0,%d)", wavelength, r.bandwidth))
+	}
+	return r.assign[input][wavelength]
+}

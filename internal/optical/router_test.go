@@ -1,0 +1,175 @@
+package optical
+
+import (
+	"testing"
+)
+
+// TestRouter2x2Figure1 exercises the archetypal 2x2 router of Figure 1:
+// two generalized switches feeding two couplers.
+func TestRouter2x2Figure1(t *testing.T) {
+	r := NewRouter(2, 2, 2, ServeFirst)
+	if r.Inputs() != 2 || r.Outputs() != 2 {
+		t.Fatal("dimensions")
+	}
+	// Input 0: wavelength 0 -> output 0, wavelength 1 -> output 1.
+	r.Switch(0).(*GeneralizedSwitch).SetRoute(0, 0)
+	r.Switch(0).(*GeneralizedSwitch).SetRoute(1, 1)
+	// Input 1: wavelength 0 -> output 1, wavelength 1 -> output 0.
+	r.Switch(1).(*GeneralizedSwitch).SetRoute(0, 1)
+	r.Switch(1).(*GeneralizedSwitch).SetRoute(1, 0)
+
+	outs, elim := r.Step([]Input{
+		{Port: 0, Signal: Signal{Wavelength: 0, WormID: 1}},
+		{Port: 0, Signal: Signal{Wavelength: 1, WormID: 2}},
+		{Port: 1, Signal: Signal{Wavelength: 0, WormID: 3}},
+		{Port: 1, Signal: Signal{Wavelength: 1, WormID: 4}},
+	})
+	if len(elim) != 0 {
+		t.Fatalf("no contention expected, eliminated %v", elim)
+	}
+	got := map[int]map[int]int{} // port -> wavelength -> worm
+	for _, o := range outs {
+		if got[o.Port] == nil {
+			got[o.Port] = map[int]int{}
+		}
+		got[o.Port][o.Signal.Wavelength] = o.Signal.WormID
+	}
+	// Output 0 carries worm 1 (w0 from input 0) and worm 4 (w1 from input 1).
+	if got[0][0] != 1 || got[0][1] != 4 {
+		t.Errorf("output 0 = %v", got[0])
+	}
+	if got[1][1] != 2 || got[1][0] != 3 {
+		t.Errorf("output 1 = %v", got[1])
+	}
+}
+
+func TestRouterContentionServeFirst(t *testing.T) {
+	r := NewRouter(2, 2, 1, ServeFirst)
+	// Both inputs direct wavelength 0 to output 0 -> simultaneous
+	// collision, both eliminated under TieEliminateAll.
+	r.Switch(0).(*GeneralizedSwitch).SetRoute(0, 0)
+	r.Switch(1).(*GeneralizedSwitch).SetRoute(0, 0)
+	outs, elim := r.Step([]Input{
+		{Port: 0, Signal: Signal{Wavelength: 0, WormID: 1}},
+		{Port: 1, Signal: Signal{Wavelength: 0, WormID: 2}},
+	})
+	if len(outs) != 0 || len(elim) != 2 {
+		t.Fatalf("outs=%v elim=%v", outs, elim)
+	}
+}
+
+func TestRouterContentionPriority(t *testing.T) {
+	r := NewRouter(2, 2, 1, Priority)
+	r.Switch(0).(*GeneralizedSwitch).SetRoute(0, 0)
+	r.Switch(1).(*GeneralizedSwitch).SetRoute(0, 0)
+	outs, elim := r.Step([]Input{
+		{Port: 0, Signal: Signal{Wavelength: 0, WormID: 1, Rank: 2}},
+		{Port: 1, Signal: Signal{Wavelength: 0, WormID: 2, Rank: 7}},
+	})
+	if len(outs) != 1 || outs[0].Signal.WormID != 2 {
+		t.Fatalf("priority winner wrong: %v", outs)
+	}
+	if len(elim) != 1 || elim[0].WormID != 1 {
+		t.Fatalf("loser wrong: %v", elim)
+	}
+}
+
+func TestRouterStatefulAcrossSteps(t *testing.T) {
+	r := NewRouter(1, 1, 1, ServeFirst)
+	r.Step([]Input{{Port: 0, Signal: Signal{Wavelength: 0, WormID: 1}}})
+	// Wavelength still held by worm 1: a later arrival is eliminated.
+	outs, elim := r.Step([]Input{{Port: 0, Signal: Signal{Wavelength: 0, WormID: 2}}})
+	if len(outs) != 0 || len(elim) != 1 {
+		t.Fatalf("occupancy not kept across steps: outs=%v elim=%v", outs, elim)
+	}
+	r.ReleaseAll()
+	outs, _ = r.Step([]Input{{Port: 0, Signal: Signal{Wavelength: 0, WormID: 3}}})
+	if len(outs) != 1 {
+		t.Fatal("ReleaseAll did not free the coupler")
+	}
+}
+
+func TestElementaryRouterCannotSplit(t *testing.T) {
+	r := NewElementaryRouter(1, 2, 2, ServeFirst)
+	// Whatever the configuration, both wavelengths land on one output.
+	for c := 0; c < r.Switch(0).Configurations(); c++ {
+		r.ReleaseAll()
+		r.Switch(0).SetConfiguration(c)
+		outs, _ := r.Step([]Input{
+			{Port: 0, Signal: Signal{Wavelength: 0, WormID: 1}},
+			{Port: 0, Signal: Signal{Wavelength: 1, WormID: 2}},
+		})
+		ports := map[int]bool{}
+		for _, o := range outs {
+			ports[o.Port] = true
+		}
+		if len(ports) != 1 {
+			t.Fatalf("elementary router split wavelengths across %v", ports)
+		}
+	}
+}
+
+func TestRouterPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no inputs":      func() { NewRouter(0, 1, 1, ServeFirst) },
+		"no inputs elem": func() { NewElementaryRouter(0, 1, 1, ServeFirst) },
+		"bad port": func() {
+			NewRouter(1, 1, 1, ServeFirst).Step([]Input{{Port: 5, Signal: Signal{}}})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSwitchlessRouter(t *testing.T) {
+	// Figure 3 left: fixed wavelength assignment, no reconfiguration.
+	r := NewSwitchlessRouter(2, [][]int{
+		{0, 1}, // input 0: w0 -> out 0, w1 -> out 1
+		{1, 0}, // input 1: w0 -> out 1, w1 -> out 0
+	})
+	if r.Inputs() != 2 || r.Outputs() != 2 || r.Bandwidth() != 2 {
+		t.Fatal("dimensions")
+	}
+	if r.OutputFor(0, 0) != 0 || r.OutputFor(0, 1) != 1 {
+		t.Error("input 0 assignment")
+	}
+	if r.OutputFor(1, 0) != 1 || r.OutputFor(1, 1) != 0 {
+		t.Error("input 1 assignment")
+	}
+}
+
+func TestSwitchlessRouterPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no inputs":    func() { NewSwitchlessRouter(1, nil) },
+		"no bandwidth": func() { NewSwitchlessRouter(1, [][]int{{}}) },
+		"ragged":       func() { NewSwitchlessRouter(2, [][]int{{0, 1}, {0}}) },
+		"out of range": func() { NewSwitchlessRouter(2, [][]int{{0, 5}}) },
+		"query input":  func() { NewSwitchlessRouter(1, [][]int{{0}}).OutputFor(3, 0) },
+		"query wave":   func() { NewSwitchlessRouter(1, [][]int{{0}}).OutputFor(0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSwitchlessRouterImmutable(t *testing.T) {
+	assign := [][]int{{0, 1}}
+	r := NewSwitchlessRouter(2, assign)
+	assign[0][0] = 1 // mutate the caller's table
+	if r.OutputFor(0, 0) != 0 {
+		t.Fatal("switchless router must copy its assignment table")
+	}
+}

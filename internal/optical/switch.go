@@ -1,0 +1,147 @@
+package optical
+
+import "fmt"
+
+// Switch is a wavelength-selective routing element with one input fiber
+// and several output fibers (Figure 2 of the paper). A configuration
+// determines, for each wavelength, which output the input's signal at that
+// wavelength is directed to.
+type Switch interface {
+	// Outputs returns the number of output fibers.
+	Outputs() int
+	// Bandwidth returns the number of wavelengths handled.
+	Bandwidth() int
+	// Configurations returns how many distinct configurations the switch
+	// supports: an elementary switch can only switch whole fibers, a
+	// generalized switch can direct each wavelength independently.
+	Configurations() int
+	// SetConfiguration selects a configuration in [0, Configurations()).
+	SetConfiguration(c int)
+	// OutputFor returns the output fiber the given wavelength is
+	// currently directed to.
+	OutputFor(wavelength int) int
+}
+
+// ElementarySwitch switches wires: all wavelengths of the input fiber go
+// to the same output (configuration a/b in Figure 2). It has exactly
+// Outputs() configurations.
+type ElementarySwitch struct {
+	outputs, bandwidth, config int
+}
+
+// NewElementarySwitch returns an elementary switch. It panics unless
+// outputs >= 1 and bandwidth >= 1.
+func NewElementarySwitch(outputs, bandwidth int) *ElementarySwitch {
+	checkSwitchArgs(outputs, bandwidth)
+	return &ElementarySwitch{outputs: outputs, bandwidth: bandwidth}
+}
+
+// Outputs implements Switch.
+func (s *ElementarySwitch) Outputs() int { return s.outputs }
+
+// Bandwidth implements Switch.
+func (s *ElementarySwitch) Bandwidth() int { return s.bandwidth }
+
+// Configurations implements Switch: one per output fiber.
+func (s *ElementarySwitch) Configurations() int { return s.outputs }
+
+// SetConfiguration implements Switch.
+func (s *ElementarySwitch) SetConfiguration(c int) {
+	if c < 0 || c >= s.Configurations() {
+		panic(fmt.Sprintf("optical: elementary configuration %d out of [0,%d)", c, s.Configurations()))
+	}
+	s.config = c
+}
+
+// OutputFor implements Switch: every wavelength follows the fiber.
+func (s *ElementarySwitch) OutputFor(wavelength int) int {
+	if wavelength < 0 || wavelength >= s.bandwidth {
+		panic(fmt.Sprintf("optical: wavelength %d out of [0,%d)", wavelength, s.bandwidth))
+	}
+	return s.config
+}
+
+// GeneralizedSwitch switches wavelengths: each wavelength is directed to
+// an independently chosen output (all four configurations in Figure 2 for
+// two outputs and two wavelengths). It has Outputs()^Bandwidth()
+// configurations, encoded base-Outputs() with wavelength 0 as the least
+// significant digit.
+type GeneralizedSwitch struct {
+	outputs, bandwidth int
+	route              []int // route[wavelength] = output
+}
+
+// NewGeneralizedSwitch returns a generalized switch in configuration 0
+// (all wavelengths to output 0). It panics unless outputs >= 1,
+// bandwidth >= 1 and the configuration space fits in an int.
+func NewGeneralizedSwitch(outputs, bandwidth int) *GeneralizedSwitch {
+	checkSwitchArgs(outputs, bandwidth)
+	if configCount(outputs, bandwidth) <= 0 {
+		panic("optical: generalized switch configuration space overflows")
+	}
+	return &GeneralizedSwitch{
+		outputs:   outputs,
+		bandwidth: bandwidth,
+		route:     make([]int, bandwidth),
+	}
+}
+
+func checkSwitchArgs(outputs, bandwidth int) {
+	if outputs < 1 {
+		panic("optical: switch needs at least one output")
+	}
+	if bandwidth < 1 {
+		panic("optical: switch needs bandwidth >= 1")
+	}
+}
+
+func configCount(outputs, bandwidth int) int {
+	c := 1
+	for i := 0; i < bandwidth; i++ {
+		next := c * outputs
+		if next/outputs != c {
+			return -1
+		}
+		c = next
+	}
+	return c
+}
+
+// Outputs implements Switch.
+func (s *GeneralizedSwitch) Outputs() int { return s.outputs }
+
+// Bandwidth implements Switch.
+func (s *GeneralizedSwitch) Bandwidth() int { return s.bandwidth }
+
+// Configurations implements Switch: outputs^bandwidth.
+func (s *GeneralizedSwitch) Configurations() int { return configCount(s.outputs, s.bandwidth) }
+
+// SetConfiguration implements Switch, decoding the base-Outputs() digits.
+func (s *GeneralizedSwitch) SetConfiguration(c int) {
+	if c < 0 || c >= s.Configurations() {
+		panic(fmt.Sprintf("optical: generalized configuration %d out of [0,%d)", c, s.Configurations()))
+	}
+	for w := 0; w < s.bandwidth; w++ {
+		s.route[w] = c % s.outputs
+		c /= s.outputs
+	}
+}
+
+// SetRoute directs one wavelength to one output directly.
+func (s *GeneralizedSwitch) SetRoute(wavelength, output int) {
+	if wavelength < 0 || wavelength >= s.bandwidth {
+		panic(fmt.Sprintf("optical: wavelength %d out of [0,%d)", wavelength, s.bandwidth))
+	}
+	if output < 0 || output >= s.outputs {
+		panic(fmt.Sprintf("optical: output %d out of [0,%d)", output, s.outputs))
+	}
+	s.route[wavelength] = output
+}
+
+// OutputFor implements Switch.
+func (s *GeneralizedSwitch) OutputFor(wavelength int) int {
+	if wavelength < 0 || wavelength >= s.bandwidth {
+		panic(fmt.Sprintf("optical: wavelength %d out of [0,%d)", wavelength, s.bandwidth))
+	}
+	return s.route[wavelength]
+}

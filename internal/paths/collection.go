@@ -1,0 +1,239 @@
+// Package paths implements path collections — the routing problems of the
+// paper. A path collection P is a multiset of paths in a network; the
+// Trial-and-Failure protocol routes one worm along each path of P.
+//
+// The package provides the paper's problem parameters (size n, dilation D,
+// path congestion C-tilde), the classification predicates (leveled,
+// short-cut free), the path-selection strategies used by the application
+// theorems (dimension-order for meshes/tori, bit-fixing for hypercubes,
+// unique butterfly paths, translation-invariant systems for node-symmetric
+// networks), and the standard workload generators (permutations, random
+// functions, random q-functions).
+package paths
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Collection is a multiset of validated paths in one network. The lazy
+// metric caches are guarded, so a Collection may be shared by concurrent
+// readers (e.g. parallel Monte-Carlo trials).
+type Collection struct {
+	g     *graph.Graph
+	paths []graph.Path
+
+	mu        sync.Mutex
+	linkUsers map[graph.LinkID][]int // lazy: link -> indices of paths using it
+	links     [][]graph.LinkID       // lazy: per-path link IDs
+}
+
+// NewCollection validates every path against g and returns the collection.
+// Paths of length zero (single nodes) are rejected: a worm needs at least
+// one link to traverse.
+func NewCollection(g *graph.Graph, ps []graph.Path) (*Collection, error) {
+	for i, p := range ps {
+		if err := p.Validate(g); err != nil {
+			return nil, fmt.Errorf("paths: path %d invalid: %w", i, err)
+		}
+		if p.Len() == 0 {
+			return nil, fmt.Errorf("paths: path %d has zero length", i)
+		}
+	}
+	return &Collection{g: g, paths: ps}, nil
+}
+
+// MustCollection is NewCollection that panics on error; intended for
+// generators whose output is correct by construction.
+func MustCollection(g *graph.Graph, ps []graph.Path) *Collection {
+	c, err := NewCollection(g, ps)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Graph returns the underlying network.
+func (c *Collection) Graph() *graph.Graph { return c.g }
+
+// Size returns n, the number of paths (and of worms to route).
+func (c *Collection) Size() int { return len(c.paths) }
+
+// Path returns the i-th path. The caller must not modify it.
+func (c *Collection) Path(i int) graph.Path { return c.paths[i] }
+
+// Paths returns the backing slice. The caller must not modify it.
+func (c *Collection) Paths() []graph.Path { return c.paths }
+
+// PathLinks returns the directed link IDs of path i (cached).
+func (c *Collection) PathLinks(i int) []graph.LinkID {
+	c.ensureLinks()
+	return c.links[i]
+}
+
+func (c *Collection) ensureLinks() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureLinksLocked()
+}
+
+func (c *Collection) ensureLinksLocked() {
+	if c.links != nil {
+		return
+	}
+	c.links = make([][]graph.LinkID, len(c.paths))
+	for i, p := range c.paths {
+		c.links[i] = p.Links(c.g)
+	}
+}
+
+func (c *Collection) ensureLinkUsers() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.linkUsers != nil {
+		return
+	}
+	c.ensureLinksLocked()
+	c.linkUsers = make(map[graph.LinkID][]int)
+	for i, ids := range c.links {
+		for _, id := range ids {
+			c.linkUsers[id] = append(c.linkUsers[id], i)
+		}
+	}
+}
+
+// Dilation returns D, the number of links of the longest path (0 for an
+// empty collection).
+func (c *Collection) Dilation() int {
+	d := 0
+	for _, p := range c.paths {
+		if l := p.Len(); l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// EdgeCongestion returns the commonly used congestion: the maximum, over
+// all directed links, of the number of paths using that link. (The paper
+// points out this is *not* its C-tilde; see PathCongestion.)
+func (c *Collection) EdgeCongestion() int {
+	c.ensureLinkUsers()
+	max := 0
+	for _, users := range c.linkUsers {
+		if len(users) > max {
+			max = len(users)
+		}
+	}
+	return max
+}
+
+// PathCongestion returns C-tilde, the paper's path congestion: the maximum
+// over all paths p of the number of paths that share a directed link with
+// p, counting p itself. (Counting p itself makes a structure of k
+// identical paths have path congestion exactly k, matching the paper's
+// type-2 lower-bound structures.) A collection of pairwise link-disjoint
+// paths has path congestion 1.
+func (c *Collection) PathCongestion() int {
+	cong := c.PathCongestions()
+	max := 0
+	for _, k := range cong {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// PathCongestions returns, for every path p, the number of paths sharing a
+// directed link with p (including p itself).
+func (c *Collection) PathCongestions() []int {
+	c.ensureLinkUsers()
+	out := make([]int, len(c.paths))
+	mark := make([]int, len(c.paths)) // mark[j] = i+1 when j already counted for path i
+	for i := range c.paths {
+		count := 0
+		for _, id := range c.links[i] {
+			for _, j := range c.linkUsers[id] {
+				if mark[j] != i+1 {
+					mark[j] = i + 1
+					count++
+				}
+			}
+		}
+		out[i] = count
+	}
+	return out
+}
+
+// LinkUsers returns the indices of paths using the given directed link.
+// The caller must not modify the result.
+func (c *Collection) LinkUsers(id graph.LinkID) []int {
+	c.ensureLinkUsers()
+	return c.linkUsers[id]
+}
+
+// SharePairs calls fn for every unordered pair (i, j), i < j, of distinct
+// paths that share at least one directed link. Each pair is reported once.
+func (c *Collection) SharePairs(fn func(i, j int)) {
+	c.ensureLinkUsers()
+	seen := make(map[uint64]bool)
+	for _, users := range c.linkUsers {
+		for a := 0; a < len(users); a++ {
+			for b := a + 1; b < len(users); b++ {
+				i, j := users[a], users[b]
+				if i > j {
+					i, j = j, i
+				}
+				key := uint64(i)<<32 | uint64(uint32(j))
+				if !seen[key] {
+					seen[key] = true
+					fn(i, j)
+				}
+			}
+		}
+	}
+}
+
+// Stats summarizes the paper's problem parameters for a collection.
+type Stats struct {
+	N              int // number of paths
+	Dilation       int // D
+	EdgeCongestion int // max paths per directed link
+	PathCongestion int // C-tilde
+	Leveled        bool
+	ShortCutFree   bool
+}
+
+// ComputeStats evaluates all parameters. The short-cut free check is
+// quadratic in the number of interacting path pairs; for very large
+// collections prefer calling the individual accessors.
+func (c *Collection) ComputeStats() Stats {
+	return Stats{
+		N:              c.Size(),
+		Dilation:       c.Dilation(),
+		EdgeCongestion: c.EdgeCongestion(),
+		PathCongestion: c.PathCongestion(),
+		Leveled:        c.IsLeveled(),
+		ShortCutFree:   c.IsShortCutFree(),
+	}
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d D=%d C=%d C~=%d leveled=%t shortcutfree=%t",
+		s.N, s.Dilation, s.EdgeCongestion, s.PathCongestion, s.Leveled, s.ShortCutFree)
+}
+
+// Subset returns a new collection containing the paths at the given
+// indices (in the given order, duplicates allowed). It shares the path
+// slices with the parent but computes its own metrics.
+func (c *Collection) Subset(indices []int) *Collection {
+	ps := make([]graph.Path, len(indices))
+	for i, idx := range indices {
+		ps[i] = c.paths[idx]
+	}
+	return &Collection{g: c.g, paths: ps}
+}

@@ -1,0 +1,212 @@
+package paths
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// lineGraph builds a chain 0-1-...-n-1 and returns its graph.
+func lineGraph(n int) *graph.Graph {
+	return topology.NewChain(n).Graph()
+}
+
+func TestNewCollectionValidation(t *testing.T) {
+	g := lineGraph(5)
+	if _, err := NewCollection(g, []graph.Path{{0, 1, 2}}); err != nil {
+		t.Fatalf("valid collection rejected: %v", err)
+	}
+	if _, err := NewCollection(g, []graph.Path{{0, 2}}); err == nil {
+		t.Error("invalid path accepted")
+	}
+	if _, err := NewCollection(g, []graph.Path{{3}}); err == nil {
+		t.Error("zero-length path accepted")
+	}
+	if _, err := NewCollection(g, nil); err != nil {
+		t.Errorf("empty collection rejected: %v", err)
+	}
+}
+
+func TestMustCollectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCollection did not panic on invalid input")
+		}
+	}()
+	MustCollection(lineGraph(3), []graph.Path{{0, 2}})
+}
+
+func TestDilation(t *testing.T) {
+	g := lineGraph(6)
+	c := MustCollection(g, []graph.Path{{0, 1}, {0, 1, 2, 3}, {2, 3, 4}})
+	if d := c.Dilation(); d != 3 {
+		t.Errorf("dilation = %d, want 3", d)
+	}
+	empty, _ := NewCollection(g, nil)
+	if empty.Dilation() != 0 {
+		t.Error("empty dilation should be 0")
+	}
+}
+
+func TestEdgeCongestionDirected(t *testing.T) {
+	g := lineGraph(4)
+	// Two paths left-to-right and one right-to-left over the same edge:
+	// opposite directions use different links and must not add up.
+	c := MustCollection(g, []graph.Path{{0, 1, 2}, {1, 2}, {2, 1}})
+	if got := c.EdgeCongestion(); got != 2 {
+		t.Errorf("edge congestion = %d, want 2 (directions are separate links)", got)
+	}
+}
+
+func TestPathCongestionIdenticalPaths(t *testing.T) {
+	// A type-2 structure: k identical paths has path congestion exactly k.
+	g := lineGraph(5)
+	k := 7
+	ps := make([]graph.Path, k)
+	for i := range ps {
+		ps[i] = graph.Path{0, 1, 2, 3}
+	}
+	c := MustCollection(g, ps)
+	if got := c.PathCongestion(); got != k {
+		t.Errorf("path congestion of %d identical paths = %d, want %d", k, got, k)
+	}
+}
+
+func TestPathCongestionDisjoint(t *testing.T) {
+	g := lineGraph(9)
+	c := MustCollection(g, []graph.Path{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}})
+	if got := c.PathCongestion(); got != 1 {
+		t.Errorf("path congestion of disjoint paths = %d, want 1", got)
+	}
+}
+
+func TestPathCongestionVsEdgeCongestion(t *testing.T) {
+	// A "star of paths": k paths each sharing a distinct edge with one hub
+	// path but not with each other. Edge congestion stays 2, while the hub
+	// path's congestion is k+1.
+	k := 5
+	// Hub path 0-1-2-...-k; spoke i covers edge (i, i+1) and then departs
+	// to a private node.
+	n := (k + 1) + k
+	g := graph.New(n)
+	for i := 0; i < k; i++ {
+		g.AddEdge(i, i+1)
+	}
+	for i := 0; i < k; i++ {
+		g.AddEdge(i+1, k+1+i) // private exits
+	}
+	hub := make(graph.Path, k+1)
+	for i := range hub {
+		hub[i] = i
+	}
+	ps := []graph.Path{hub}
+	for i := 0; i < k; i++ {
+		ps = append(ps, graph.Path{i, i + 1, k + 1 + i})
+	}
+	c := MustCollection(g, ps)
+	if got := c.EdgeCongestion(); got != 2 {
+		t.Errorf("edge congestion = %d, want 2", got)
+	}
+	if got := c.PathCongestion(); got != k+1 {
+		t.Errorf("path congestion = %d, want %d", got, k+1)
+	}
+	cong := c.PathCongestions()
+	if cong[0] != k+1 {
+		t.Errorf("hub congestion = %d, want %d", cong[0], k+1)
+	}
+	for i := 1; i <= k; i++ {
+		if cong[i] != 2 {
+			t.Errorf("spoke %d congestion = %d, want 2", i, cong[i])
+		}
+	}
+}
+
+func TestLinkUsersAndSharePairs(t *testing.T) {
+	g := lineGraph(4)
+	c := MustCollection(g, []graph.Path{{0, 1, 2}, {1, 2, 3}, {0, 1}})
+	id, _ := g.LinkBetween(1, 2)
+	users := c.LinkUsers(id)
+	if len(users) != 2 {
+		t.Fatalf("link users = %v", users)
+	}
+	var pairs [][2]int
+	c.SharePairs(func(i, j int) { pairs = append(pairs, [2]int{i, j}) })
+	// Pairs sharing a link: (0,1) via 1->2, (0,2) via 0->1.
+	if len(pairs) != 2 {
+		t.Fatalf("share pairs = %v", pairs)
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		seen[p] = true
+	}
+	if !seen[[2]int{0, 1}] || !seen[[2]int{0, 2}] {
+		t.Errorf("share pairs = %v, want (0,1) and (0,2)", pairs)
+	}
+}
+
+func TestComputeStatsAndString(t *testing.T) {
+	g := lineGraph(4)
+	c := MustCollection(g, []graph.Path{{0, 1, 2, 3}, {0, 1}})
+	s := c.ComputeStats()
+	if s.N != 2 || s.Dilation != 3 || s.EdgeCongestion != 2 || s.PathCongestion != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if !s.Leveled {
+		t.Error("chain collection should be leveled")
+	}
+	if !s.ShortCutFree {
+		t.Error("chain collection should be short-cut free")
+	}
+	if str := s.String(); !strings.Contains(str, "n=2") || !strings.Contains(str, "D=3") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestPathLinksCached(t *testing.T) {
+	g := lineGraph(3)
+	c := MustCollection(g, []graph.Path{{0, 1, 2}})
+	a := c.PathLinks(0)
+	b := c.PathLinks(0)
+	if &a[0] != &b[0] {
+		t.Error("PathLinks should return the cached slice")
+	}
+	if len(a) != 2 {
+		t.Errorf("links = %v", a)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := lineGraph(3)
+	ps := []graph.Path{{0, 1}, {1, 2}}
+	c := MustCollection(g, ps)
+	if c.Size() != 2 || c.Graph() != g {
+		t.Error("Size/Graph accessors")
+	}
+	if c.Path(1).Source() != 1 {
+		t.Error("Path accessor")
+	}
+	if len(c.Paths()) != 2 {
+		t.Error("Paths accessor")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	g := lineGraph(6)
+	c := MustCollection(g, []graph.Path{{0, 1, 2}, {2, 3, 4}, {0, 1}})
+	sub := c.Subset([]int{2, 0})
+	if sub.Size() != 2 {
+		t.Fatalf("size = %d", sub.Size())
+	}
+	if sub.Path(0).Len() != 1 || sub.Path(1).Len() != 2 {
+		t.Error("wrong paths selected")
+	}
+	if sub.Dilation() != 2 {
+		t.Errorf("subset dilation = %d", sub.Dilation())
+	}
+	// Subset metrics are independent of the parent.
+	if sub.PathCongestion() != 2 { // the two paths share link 0->1
+		t.Errorf("subset path congestion = %d, want 2", sub.PathCongestion())
+	}
+}

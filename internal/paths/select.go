@@ -1,0 +1,293 @@
+package paths
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Selector produces a routing path from src to dst in a fixed network.
+// Selectors are the "first part" of a routing scheme in the paper's
+// terminology: the strategy that picks the path collection.
+type Selector func(src, dst graph.NodeID) graph.Path
+
+// Pair is one (source, destination) routing request.
+type Pair struct {
+	Src, Dst graph.NodeID
+}
+
+// Build applies the selector to every pair with Src != Dst and returns the
+// resulting collection. Pairs with Src == Dst are skipped (nothing to
+// route).
+func Build(g *graph.Graph, pairs []Pair, sel Selector) (*Collection, error) {
+	ps := make([]graph.Path, 0, len(pairs))
+	for _, pr := range pairs {
+		if pr.Src == pr.Dst {
+			continue
+		}
+		p := sel(pr.Src, pr.Dst)
+		if p == nil {
+			return nil, fmt.Errorf("paths: selector returned nil for %d->%d", pr.Src, pr.Dst)
+		}
+		ps = append(ps, p)
+	}
+	return NewCollection(g, ps)
+}
+
+// DimOrderMesh returns the dimension-order (e-cube) selector for a mesh:
+// the path corrects coordinates dimension by dimension, lowest dimension
+// first. Every produced path is a shortest path, so every collection built
+// from this selector is short-cut free.
+func DimOrderMesh(m *topology.Mesh) Selector {
+	return func(src, dst graph.NodeID) graph.Path {
+		cs, cd := m.Coord(src), m.Coord(dst)
+		p := graph.Path{src}
+		cur := append([]int(nil), cs...)
+		for d := 0; d < m.Dims(); d++ {
+			step := 1
+			if cd[d] < cur[d] {
+				step = -1
+			}
+			for cur[d] != cd[d] {
+				cur[d] += step
+				p = append(p, m.NodeAt(cur))
+			}
+		}
+		return p
+	}
+}
+
+// DimOrderTorus returns the dimension-order selector for a torus, taking
+// the shorter wrap direction in each dimension (positive direction on
+// ties). Every path is a torus shortest path, hence collections are
+// short-cut free; the selector is translation-invariant, making it the
+// constructive path system behind Theorem 1.5 on tori.
+func DimOrderTorus(t *topology.Torus) Selector {
+	side := t.Side()
+	return func(src, dst graph.NodeID) graph.Path {
+		cs, cd := t.Coord(src), t.Coord(dst)
+		p := graph.Path{src}
+		cur := append([]int(nil), cs...)
+		for d := 0; d < t.Dims(); d++ {
+			fwd := (cd[d] - cur[d] + side) % side
+			step := 1
+			steps := fwd
+			if fwd > side-fwd {
+				step = -1
+				steps = side - fwd
+			}
+			for k := 0; k < steps; k++ {
+				cur[d] = ((cur[d]+step)%side + side) % side
+				p = append(p, t.NodeAt(cur))
+			}
+		}
+		return p
+	}
+}
+
+// BitFixing returns the bit-fixing selector for a hypercube: correct
+// differing address bits from lowest to highest. Paths are shortest, so
+// collections are short-cut free; the selector is XOR-translation
+// invariant.
+func BitFixing(h *topology.Hypercube) Selector {
+	dim := h.Dim()
+	return func(src, dst graph.NodeID) graph.Path {
+		p := graph.Path{src}
+		cur := src
+		for b := 0; b < dim; b++ {
+			if (cur^dst)&(1<<b) != 0 {
+				cur ^= 1 << b
+				p = append(p, cur)
+			}
+		}
+		return p
+	}
+}
+
+// ButterflySelector returns the unique input-output path selector of the
+// plain butterfly (Theorem 1.7). src must be a level-0 node and dst a
+// level-k node; the selector panics otherwise. The resulting collections
+// are leveled by construction.
+func ButterflySelector(b *topology.Butterfly) Selector {
+	return func(src, dst graph.NodeID) graph.Path {
+		if b.LevelOf(src) != 0 {
+			panic(fmt.Sprintf("paths: butterfly source %d not at level 0", src))
+		}
+		if b.LevelOf(dst) != b.Dim() {
+			panic(fmt.Sprintf("paths: butterfly destination %d not at level %d", dst, b.Dim()))
+		}
+		return b.UniquePath(b.RowOf(src), b.RowOf(dst))
+	}
+}
+
+// TranslationSystem returns a translation-invariant selector for a
+// vertex-transitive network: a canonical shortest path from node 0 to each
+// difference class is fixed once (via BFS), and the path from src to dst
+// is the image of the canonical path to phi^-1(dst) under the automorphism
+// phi mapping 0 to src. This realizes, constructively, the path system
+// from [27] used by Theorem 1.5: by symmetry every edge has the same
+// expected load under a random function, which is at most the dilation D.
+//
+// The canonical paths form a BFS tree from node 0, and images of shortest
+// paths are shortest paths, so the resulting collections are short-cut
+// free.
+func TranslationSystem(vt topology.VertexTransitive) Selector {
+	g := vt.Graph()
+	n := g.NumNodes()
+	canonical := make([]graph.Path, n)
+	for v := 0; v < n; v++ {
+		canonical[v] = g.ShortestPath(0, v)
+		if canonical[v] == nil {
+			panic("paths: TranslationSystem requires a connected network")
+		}
+	}
+	// The inverse permutation of each source's automorphism is computed
+	// once and cached, so building a whole collection costs O(n) per
+	// distinct source rather than O(n) per pair.
+	type entry struct {
+		phi func(graph.NodeID) graph.NodeID
+		inv []graph.NodeID
+	}
+	cache := make(map[graph.NodeID]entry)
+	lookup := func(src graph.NodeID) entry {
+		if e, ok := cache[src]; ok {
+			return e
+		}
+		phi := vt.AutomorphismTo(src)
+		inv := make([]graph.NodeID, n)
+		for c := 0; c < n; c++ {
+			inv[phi(c)] = c
+		}
+		e := entry{phi: phi, inv: inv}
+		cache[src] = e
+		return e
+	}
+	return func(src, dst graph.NodeID) graph.Path {
+		e := lookup(src)
+		base := canonical[e.inv[dst]]
+		img := make(graph.Path, len(base))
+		for i, u := range base {
+			img[i] = e.phi(u)
+		}
+		return img
+	}
+}
+
+// BFSSelector returns a generic shortest-path selector with deterministic
+// tie-breaking, usable on any connected network. Collections built from it
+// are short-cut free (all paths are shortest paths).
+func BFSSelector(g *graph.Graph) Selector {
+	return func(src, dst graph.NodeID) graph.Path {
+		p := g.ShortestPath(src, dst)
+		if p == nil {
+			panic(fmt.Sprintf("paths: no path %d->%d", src, dst))
+		}
+		return p
+	}
+}
+
+// RandomShortestPath returns a selector that picks, per request, a
+// uniformly random shortest path by randomized backtracking over the BFS
+// distance field. Collections remain short-cut free (shortest paths) while
+// spreading load more evenly than deterministic tie-breaking.
+func RandomShortestPath(g *graph.Graph, src *rng.Source) Selector {
+	return func(s, d graph.NodeID) graph.Path {
+		distToD := g.BFS(d)
+		if distToD[s] < 0 {
+			panic(fmt.Sprintf("paths: no path %d->%d", s, d))
+		}
+		p := graph.Path{s}
+		cur := s
+		for cur != d {
+			var choices []graph.NodeID
+			for _, v := range g.Neighbors(cur) {
+				if distToD[v] == distToD[cur]-1 {
+					choices = append(choices, v)
+				}
+			}
+			cur = choices[src.Intn(len(choices))]
+			p = append(p, cur)
+		}
+		return p
+	}
+}
+
+// Valiant returns the two-phase randomized selector: route to a uniformly
+// random intermediate node by the inner selector, then to the destination.
+// The concatenation is generally not a shortest path and may not be
+// short-cut free; it is provided as the classic load-balancing baseline.
+func Valiant(g *graph.Graph, inner Selector, src *rng.Source) Selector {
+	n := g.NumNodes()
+	return func(s, d graph.NodeID) graph.Path {
+		mid := src.Intn(n)
+		first := inner(s, mid)
+		second := inner(mid, d)
+		out := append(graph.Path{}, first...)
+		return append(out, second[1:]...)
+	}
+}
+
+// RandomDimOrder returns a selector for a torus that corrects the
+// dimensions in a per-request random order (still taking the shorter wrap
+// per dimension). Paths remain shortest — hence collections remain
+// short-cut free — while the randomized order spreads load off the
+// deterministic e-cube hot edges, the classic decongestion variant.
+func RandomDimOrder(t *topology.Torus, src *rng.Source) Selector {
+	side := t.Side()
+	return func(srcN, dst graph.NodeID) graph.Path {
+		cs, cd := t.Coord(srcN), t.Coord(dst)
+		order := src.Perm(t.Dims())
+		p := graph.Path{srcN}
+		cur := append([]int(nil), cs...)
+		for _, d := range order {
+			fwd := (cd[d] - cur[d] + side) % side
+			step := 1
+			steps := fwd
+			if fwd > side-fwd {
+				step = -1
+				steps = side - fwd
+			}
+			for k := 0; k < steps; k++ {
+				cur[d] = ((cur[d]+step)%side + side) % side
+				p = append(p, t.NodeAt(cur))
+			}
+		}
+		return p
+	}
+}
+
+// EdgeLoadStats estimates, by Monte-Carlo over random functions, the mean
+// and maximum expected load a selector places on a directed link. The
+// path system of [27] behind Theorem 1.5 has expected load at most the
+// diameter D on every link under a random function; use this to check a
+// selector empirically.
+func EdgeLoadStats(g *graph.Graph, sel Selector, trials int, src *rng.Source) (meanLoad, maxLoad float64) {
+	if trials < 1 {
+		trials = 1
+	}
+	n := g.NumNodes()
+	counts := make([]float64, g.NumLinks())
+	for t := 0; t < trials; t++ {
+		for s := 0; s < n; s++ {
+			d := src.Intn(n)
+			if d == s {
+				continue
+			}
+			for _, id := range sel(s, d).Links(g) {
+				counts[id]++
+			}
+		}
+	}
+	total := 0.0
+	for _, c := range counts {
+		load := c / float64(trials)
+		total += load
+		if load > maxLoad {
+			maxLoad = load
+		}
+	}
+	meanLoad = total / float64(len(counts))
+	return meanLoad, maxLoad
+}

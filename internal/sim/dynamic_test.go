@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/optical"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestDynamicSingleRequest(t *testing.T) {
+	g := chain(5)
+	res, err := RunDynamic(g, []Request{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3, 4}, Length: 3, Arrival: 2},
+	}, DynamicConfig{
+		Sim: Config{Bandwidth: 1, Rule: optical.ServeFirst, CheckInvariants: true},
+	}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Outcomes[0]
+	if !o.Delivered || o.Attempts != 1 || o.GaveUp {
+		t.Fatalf("outcome = %+v", o)
+	}
+	// Delivered at arrival + k + L - 2 = 2 + 4 + 3 - 2 = 7; latency 5.
+	if o.DeliveredAt != 7 || o.Latency != 5 {
+		t.Errorf("deliveredAt=%d latency=%d, want 7/5", o.DeliveredAt, o.Latency)
+	}
+	if res.TotalAttempts != 1 {
+		t.Errorf("total attempts = %d", res.TotalAttempts)
+	}
+}
+
+func TestDynamicRetryAfterConflict(t *testing.T) {
+	// A long-lived blocker occupies the link when the request first
+	// arrives; the retry succeeds once the blocker has passed.
+	g := chain(4)
+	res, err := RunDynamic(g, []Request{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3}, Length: 20, Arrival: 0},
+		{ID: 1, Path: graph.Path{0, 1, 2}, Length: 2, Arrival: 3},
+	}, DynamicConfig{
+		Sim:   Config{Bandwidth: 1, Rule: optical.ServeFirst, CheckInvariants: true},
+		Retry: FixedBackoff{Range: 8},
+	}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outcomes[0].Delivered || res.Outcomes[0].Attempts != 1 {
+		t.Fatalf("blocker outcome = %+v", res.Outcomes[0])
+	}
+	o := res.Outcomes[1]
+	if !o.Delivered {
+		t.Fatalf("request 1 never delivered: %+v", o)
+	}
+	if o.Attempts < 2 {
+		t.Errorf("request 1 should have needed a retry, attempts = %d", o.Attempts)
+	}
+	if o.Latency <= o.DeliveredAt-o.Latency && o.Latency < 10 {
+		t.Logf("latency = %d", o.Latency)
+	}
+	if res.TotalAttempts != res.Outcomes[0].Attempts+o.Attempts {
+		t.Errorf("total attempts %d inconsistent", res.TotalAttempts)
+	}
+}
+
+func TestDynamicGiveUp(t *testing.T) {
+	// Permanent blocker: a worm so long it outlasts every retry window.
+	g := chain(4)
+	res, err := RunDynamic(g, []Request{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3}, Length: 4000, Arrival: 0},
+		{ID: 1, Path: graph.Path{0, 1, 2}, Length: 2, Arrival: 5},
+	}, DynamicConfig{
+		Sim:         Config{Bandwidth: 1, Rule: optical.ServeFirst},
+		Retry:       FixedBackoff{Range: 4},
+		MaxAttempts: 3,
+	}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Outcomes[1]
+	if o.Delivered || !o.GaveUp {
+		t.Fatalf("request 1 should give up: %+v", o)
+	}
+	if o.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", o.Attempts)
+	}
+}
+
+func TestDynamicWithAcks(t *testing.T) {
+	g := chain(4)
+	res, err := RunDynamic(g, []Request{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3}, Length: 2, Arrival: 0},
+		{ID: 1, Path: graph.Path{3, 2, 1, 0}, Length: 2, Arrival: 0},
+	}, DynamicConfig{
+		Sim: Config{Bandwidth: 1, Rule: optical.ServeFirst, AckLength: 1, CheckInvariants: true},
+	}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outcomes {
+		if !o.Delivered {
+			t.Errorf("request %d not delivered: %+v", i, o)
+		}
+	}
+}
+
+func TestDynamicDeterministic(t *testing.T) {
+	tor := topology.NewTorus(2, 5)
+	g := tor.Graph()
+	build := func() []Request {
+		src := rng.New(99)
+		var reqs []Request
+		for id := 0; id < 40; id++ {
+			s, d := src.Intn(25), src.Intn(25)
+			if s == d {
+				continue
+			}
+			reqs = append(reqs, Request{
+				ID: id, Path: g.ShortestPath(s, d), Length: 3, Arrival: src.Intn(60),
+			})
+		}
+		return reqs
+	}
+	run := func() *DynamicResult {
+		res, err := RunDynamic(g, build(), DynamicConfig{
+			Sim: Config{Bandwidth: 2, Rule: optical.ServeFirst, AckLength: 1},
+		}, rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalAttempts != b.TotalAttempts || a.Makespan != b.Makespan {
+		t.Fatal("nondeterministic dynamic run")
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i] != b.Outcomes[i] {
+			t.Fatalf("outcome %d differs", i)
+		}
+	}
+}
+
+func TestDynamicLoadAllDelivered(t *testing.T) {
+	// Moderate Poisson-ish load on a torus: everything should eventually
+	// get through with exponential backoff.
+	tor := topology.NewTorus(2, 6)
+	g := tor.Graph()
+	src := rng.New(11)
+	var reqs []Request
+	tArr := 0
+	for id := 0; id < 120; id++ {
+		tArr += src.Geometric(0.25) // mean inter-arrival 3 steps
+		s, d := src.Intn(36), src.Intn(36)
+		if s == d {
+			d = (s + 1) % 36
+		}
+		reqs = append(reqs, Request{
+			ID: id, Path: g.ShortestPath(s, d), Length: 4, Arrival: tArr,
+		})
+	}
+	res, err := RunDynamic(g, reqs, DynamicConfig{
+		Sim: Config{Bandwidth: 2, Rule: optical.ServeFirst, AckLength: 1},
+	}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outcomes {
+		if !o.Delivered {
+			t.Errorf("request %d undelivered (%+v)", i, o)
+		}
+	}
+	if res.TotalAttempts < len(reqs) {
+		t.Error("attempts below request count")
+	}
+}
+
+func TestDynamicValidation(t *testing.T) {
+	g := chain(3)
+	cases := map[string]struct {
+		reqs []Request
+		cfg  DynamicConfig
+	}{
+		"bandwidth": {
+			[]Request{{ID: 0, Path: graph.Path{0, 1}, Length: 1}},
+			DynamicConfig{},
+		},
+		"dup id": {
+			[]Request{
+				{ID: 0, Path: graph.Path{0, 1}, Length: 1},
+				{ID: 0, Path: graph.Path{1, 2}, Length: 1},
+			},
+			DynamicConfig{Sim: Config{Bandwidth: 1}},
+		},
+		"bad path": {
+			[]Request{{ID: 0, Path: graph.Path{0, 2}, Length: 1}},
+			DynamicConfig{Sim: Config{Bandwidth: 1}},
+		},
+		"zero length": {
+			[]Request{{ID: 0, Path: graph.Path{0, 1}, Length: 0}},
+			DynamicConfig{Sim: Config{Bandwidth: 1}},
+		},
+		"negative arrival": {
+			[]Request{{ID: 0, Path: graph.Path{0, 1}, Length: 1, Arrival: -1}},
+			DynamicConfig{Sim: Config{Bandwidth: 1}},
+		},
+	}
+	for name, tc := range cases {
+		if _, err := RunDynamic(g, tc.reqs, tc.cfg, rng.New(1)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBackoffPolicies(t *testing.T) {
+	e := ExponentialBackoff{Base: 4, Cap: 64}
+	if e.Backoff(1) != 4 || e.Backoff(2) != 8 || e.Backoff(10) != 64 {
+		t.Error("exponential backoff values")
+	}
+	if (ExponentialBackoff{}).Backoff(1) != 8 {
+		t.Error("exponential defaults")
+	}
+	if (ExponentialBackoff{Base: 4}).Backoff(40) != 4*1024 {
+		t.Error("attempt clamp with default cap")
+	}
+	if (FixedBackoff{Range: 7}).Backoff(3) != 7 || (FixedBackoff{}).Backoff(1) != 1 {
+		t.Error("fixed backoff values")
+	}
+	if e.Name() != "exponential" || (FixedBackoff{}).Name() != "fixed" {
+		t.Error("names")
+	}
+}

@@ -1,0 +1,626 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/optical"
+)
+
+// train is one flit train: a message worm or an acknowledgement.
+type train struct {
+	id         int  // worm ID (acks share their parent's ID)
+	outIdx     int  // index into Result.Outcomes
+	isAck      bool //
+	links      []graph.LinkID
+	start      int // step the head enters links[0]
+	length     int // L
+	wavelength int
+	rank       int
+	band       Band
+	cut        bool  // lost at least one collision
+	waves      []int // per-link wavelength (conversion only); -1 = unset
+}
+
+// fragment is a maximal contiguous run of surviving flits of one train.
+// Flit j of a train with start s traverses link i during step s+i+j.
+type fragment struct {
+	t          *train
+	jMin, jMax int // surviving flit range (j = 0 is the original head)
+	barrier    int // flits are destroyed entering links[barrier]; len(links) = none
+	relUpTo    int // links with index < relUpTo have been released
+	headChild  *fragment
+	gone       bool
+}
+
+// limit returns the largest link index this fragment can occupy.
+func (f *fragment) limit() int {
+	k := len(f.t.links)
+	if f.barrier < k {
+		return f.barrier - 1
+	}
+	return k - 1
+}
+
+// lo returns the tail-edge link index at step t: links below lo are free.
+func (f *fragment) lo(t int) int { return t - f.t.start - f.jMax }
+
+// hi returns the head-edge link index at step t (may exceed limit; clip).
+func (f *fragment) hi(t int) int { return t - f.t.start - f.jMin }
+
+// engine holds the state of one simulation run.
+type engine struct {
+	g     *graph.Graph
+	cfg   Config
+	occ   map[int64]occupant
+	spawn map[int][]*fragment // step -> fragments whose train starts then
+	// pending counts fragments in spawn.
+	pending  int
+	active   []*fragment
+	res      *Result
+	nLinks   int
+	pendConv []convAttempt
+}
+
+// convAttempt is an entrant that lost its conflict at a converting router
+// and awaits a wavelength-conversion attempt at the end of the step.
+type convAttempt struct {
+	f       *fragment
+	idx     int
+	blocker *train
+}
+
+type occupant struct {
+	f   *fragment
+	idx int // index into f.t.links
+}
+
+func (e *engine) key(band Band, link graph.LinkID, wavelength int) int64 {
+	return (int64(band)*int64(e.nLinks)+int64(link))*int64(e.cfg.Bandwidth) + int64(wavelength)
+}
+
+// waveAt returns the wavelength train tr uses on its link index i,
+// filling the conversion table with the carried wavelength on first use.
+func (e *engine) waveAt(tr *train, i int) int {
+	if tr.waves == nil {
+		return tr.wavelength
+	}
+	if tr.waves[i] < 0 {
+		if i == 0 {
+			tr.waves[i] = tr.wavelength
+		} else {
+			tr.waves[i] = e.waveAt(tr, i-1)
+		}
+	}
+	return tr.waves[i]
+}
+
+// fragKey is the occupancy key of fragment f's link index i.
+func (e *engine) fragKey(f *fragment, i int) int64 {
+	return e.key(f.t.band, f.t.links[i], e.waveAt(f.t, i))
+}
+
+// Run simulates one round: every worm is launched at its delay and the
+// round proceeds until all activity has drained. It returns an error for
+// invalid input or if the safety step bound is exceeded (which indicates a
+// bug, not a legitimate outcome).
+func Run(g *graph.Graph, worms []Worm, cfg Config) (*Result, error) {
+	if err := validate(g, worms, cfg); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		g:      g,
+		cfg:    cfg,
+		occ:    make(map[int64]occupant),
+		spawn:  make(map[int][]*fragment),
+		res:    &Result{Outcomes: make([]Outcome, len(worms))},
+		nLinks: g.NumLinks(),
+	}
+	maxEnd := 0
+	for i := range worms {
+		w := &worms[i]
+		e.res.Outcomes[i] = Outcome{DeliveredAt: -1, AckedAt: -1, CutLink: -1, CutTime: -1}
+		tr := &train{
+			id:         w.ID,
+			outIdx:     i,
+			links:      w.Path.Links(g),
+			start:      w.Delay,
+			length:     w.Length,
+			wavelength: w.Wavelength,
+			rank:       w.Rank,
+			band:       MessageBand,
+		}
+		e.addTrain(tr)
+		end := w.Delay + len(tr.links) + w.Length + 2
+		if cfg.AckLength > 0 {
+			end += len(tr.links) + cfg.AckLength + 2
+		}
+		if end > maxEnd {
+			maxEnd = end
+		}
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = maxEnd + 4
+	}
+
+	t := e.nextSpawnTime(0)
+	steps := 0
+	for e.pending > 0 || len(e.active) > 0 {
+		if steps++; steps > maxSteps {
+			return nil, fmt.Errorf("sim: exceeded %d steps (internal bug guard)", maxSteps)
+		}
+		if len(e.active) == 0 {
+			// Jump over idle time to the next spawn.
+			t = e.nextSpawnTime(t)
+		}
+		e.step(t)
+		if cfg.CheckInvariants {
+			if err := e.checkInvariants(t); err != nil {
+				return nil, err
+			}
+		}
+		t++
+	}
+	for _, o := range e.res.Outcomes {
+		if o.Delivered {
+			e.res.DeliveredCount++
+		}
+		if o.Acked {
+			e.res.AckedCount++
+		}
+	}
+	return e.res, nil
+}
+
+func (e *engine) addTrain(tr *train) {
+	if e.cfg.Conversion != nil {
+		tr.waves = make([]int, len(tr.links))
+		for i := range tr.waves {
+			tr.waves[i] = -1
+		}
+	}
+	f := &fragment{t: tr, jMin: 0, jMax: tr.length - 1, barrier: len(tr.links)}
+	e.spawn[tr.start] = append(e.spawn[tr.start], f)
+	e.pending++
+}
+
+// nextSpawnTime returns the smallest spawn step >= t, or t when none.
+func (e *engine) nextSpawnTime(t int) int {
+	if e.pending == 0 {
+		return t
+	}
+	best := -1
+	for s := range e.spawn {
+		if s >= t && (best < 0 || s < best) {
+			best = s
+		}
+	}
+	if best < 0 {
+		return t
+	}
+	return best
+}
+
+// step advances the simulation by one time step.
+func (e *engine) step(t int) {
+	// 1. Releases: free links the tails have passed; detect completion.
+	// This runs before activation so that an acknowledgement spawned by a
+	// delivery completing at step t-1 (ack start = t) is activated below.
+	for _, f := range e.active {
+		if f.gone {
+			continue
+		}
+		e.release(f, t)
+	}
+
+	// 2. Activate trains spawning now.
+	if fs, ok := e.spawn[t]; ok {
+		e.active = append(e.active, fs...)
+		e.pending -= len(fs)
+		delete(e.spawn, t)
+	}
+
+	// 3. Collect entries: each live fragment whose head enters a new link.
+	type entry struct {
+		f   *fragment
+		idx int
+	}
+	groups := make(map[int64][]entry)
+	var order []int64 // deterministic resolution order
+	for _, f := range e.active {
+		if f.gone {
+			continue
+		}
+		i := f.hi(t)
+		if i < 0 || i > f.limit() {
+			continue
+		}
+		k := e.fragKey(f, i)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], entry{f: f, idx: i})
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+
+	// 4. Resolve each group.
+	for _, k := range order {
+		raw := groups[k]
+		// Follow headChild chains: a fragment split earlier this step
+		// hands its pending entry to the child holding the old head flit.
+		live := raw[:0]
+		for _, en := range raw {
+			f := en.f
+			for f != nil && f.gone {
+				f = f.headChild
+			}
+			if f == nil {
+				continue
+			}
+			// The chained child keeps jMin, so the entry index is valid,
+			// unless its barrier now forbids the entry.
+			if en.idx > f.limit() {
+				continue
+			}
+			live = append(live, entry{f: f, idx: en.idx})
+		}
+		if len(live) == 0 {
+			continue
+		}
+		// Deterministic order inside the group.
+		sort.Slice(live, func(a, b int) bool { return live[a].f.t.id < live[b].f.t.id })
+
+		inc, hasInc := e.occ[k]
+		switch e.cfg.Rule {
+		case optical.ServeFirst:
+			if hasInc {
+				for _, en := range live {
+					e.loseEntrant(en.f, en.idx, t, inc.f.t)
+				}
+				continue
+			}
+			if len(live) == 1 {
+				e.occ[k] = occupant{f: live[0].f, idx: live[0].idx}
+				continue
+			}
+			switch e.cfg.Tie {
+			case optical.TieEliminateAll:
+				for x, en := range live {
+					blocker := live[(x+1)%len(live)].f.t
+					e.loseEntrant(en.f, en.idx, t, blocker)
+				}
+			case optical.TieArbitraryWinner:
+				win := live[0] // smallest worm ID after sorting
+				e.occ[k] = occupant{f: win.f, idx: win.idx}
+				for _, en := range live[1:] {
+					e.loseEntrant(en.f, en.idx, t, win.f.t)
+				}
+			}
+		case optical.Priority:
+			best := 0
+			for x := 1; x < len(live); x++ {
+				if live[x].f.t.rank > live[best].f.t.rank {
+					best = x
+				}
+			}
+			if hasInc && inc.f.t.rank >= live[best].f.t.rank {
+				for _, en := range live {
+					e.loseEntrant(en.f, en.idx, t, inc.f.t)
+				}
+				continue
+			}
+			winner := live[best]
+			if hasInc {
+				e.cutIncumbent(inc.f, inc.idx, t, winner.f.t)
+			}
+			e.occ[k] = occupant{f: winner.f, idx: winner.idx}
+			for x, en := range live {
+				if x != best {
+					e.loseEntrant(en.f, en.idx, t, winner.f.t)
+				}
+			}
+		}
+	}
+
+	// 4b. Wavelength conversion: deferred losers scan for a free
+	// wavelength at their entry link in deterministic order; those that
+	// find none are cut after all.
+	for _, ca := range e.pendConv {
+		f := ca.f
+		for f != nil && f.gone {
+			f = f.headChild
+		}
+		if f == nil || ca.idx > f.limit() {
+			continue
+		}
+		cur := e.waveAt(f.t, ca.idx)
+		converted := false
+		for d := 1; d < e.cfg.Bandwidth; d++ {
+			w := (cur + d) % e.cfg.Bandwidth
+			k := e.key(f.t.band, f.t.links[ca.idx], w)
+			if _, busy := e.occ[k]; !busy {
+				f.t.waves[ca.idx] = w
+				e.occ[k] = occupant{f: f, idx: ca.idx}
+				converted = true
+				break
+			}
+		}
+		if !converted {
+			e.cutEntrant(f, ca.idx, t, ca.blocker)
+		}
+	}
+	e.pendConv = e.pendConv[:0]
+
+	// 5. Compact the active list.
+	liveActive := e.active[:0]
+	for _, f := range e.active {
+		if !f.gone {
+			liveActive = append(liveActive, f)
+		}
+	}
+	e.active = liveActive
+	e.res.BusySlotSteps += len(e.occ)
+	// Every executed step either activated or advanced a fragment (the run
+	// loop jumps over idle gaps), so t is the last meaningful step so far.
+	e.res.Makespan = t
+}
+
+// release frees links the fragment's tail has passed, and completes the
+// fragment when everything has drained or been delivered.
+func (e *engine) release(f *fragment, t int) {
+	limit := f.limit()
+	lo := f.lo(t)
+	upTo := lo
+	if upTo > limit+1 {
+		upTo = limit + 1
+	}
+	for i := f.relUpTo; i < upTo; i++ {
+		k := e.fragKey(f, i)
+		if oc, ok := e.occ[k]; ok && oc.f == f {
+			delete(e.occ, k)
+		}
+	}
+	if upTo > f.relUpTo {
+		f.relUpTo = upTo
+	}
+	if lo > limit {
+		// All flits are past the last usable link: the fragment is done.
+		f.gone = true
+		e.complete(f, t)
+	}
+}
+
+// complete handles a fragment whose flits have all drained or exited.
+func (e *engine) complete(f *fragment, t int) {
+	tr := f.t
+	// A full delivery needs the intact original fragment of an uncut train.
+	if tr.cut || f.jMin != 0 || f.jMax != tr.length-1 || f.barrier != len(tr.links) {
+		return
+	}
+	deliveredAt := tr.start + len(tr.links) + tr.length - 2
+	if tr.isAck {
+		out := &e.res.Outcomes[tr.outIdx]
+		out.Acked = true
+		out.AckedAt = deliveredAt
+		return
+	}
+	out := &e.res.Outcomes[tr.outIdx]
+	out.Delivered = true
+	out.DeliveredAt = deliveredAt
+	if e.cfg.AckLength == 0 {
+		out.Acked = true
+		out.AckedAt = deliveredAt
+		return
+	}
+	// Spawn the acknowledgement on the reversed links in the ack band.
+	rev := make([]graph.LinkID, len(tr.links))
+	for i, id := range tr.links {
+		rev[len(tr.links)-1-i] = e.g.Reverse(id)
+	}
+	ack := &train{
+		id:         tr.id,
+		outIdx:     tr.outIdx,
+		isAck:      true,
+		links:      rev,
+		start:      deliveredAt + 1,
+		length:     e.cfg.AckLength,
+		wavelength: e.waveAt(tr, len(tr.links)-1),
+		rank:       tr.rank,
+		band:       AckBand,
+	}
+	e.addTrain(ack)
+}
+
+// loseEntrant handles an entrant that lost its conflict: it is deferred
+// for a wavelength-conversion attempt when the router at the link's tail
+// supports conversion, and cut otherwise.
+func (e *engine) loseEntrant(f *fragment, idx, t int, blocker *train) {
+	if e.cfg.Conversion != nil && e.cfg.Bandwidth > 1 &&
+		e.cfg.Conversion(e.g.Link(f.t.links[idx]).From) {
+		e.pendConv = append(e.pendConv, convAttempt{f: f, idx: idx, blocker: blocker})
+		return
+	}
+	e.cutEntrant(f, idx, t, blocker)
+}
+
+// cutEntrant handles a fragment whose head flit was eliminated while
+// entering links[idx].
+func (e *engine) cutEntrant(f *fragment, idx, t int, blocker *train) {
+	e.recordCut(f, idx, t, blocker)
+	jCut := f.jMin // the entering flit is the fragment's head
+	e.split(f, idx, jCut, t, false)
+}
+
+// cutIncumbent handles a fragment preempted (Priority rule) at links[idx],
+// which it currently occupies.
+func (e *engine) cutIncumbent(f *fragment, idx, t int, blocker *train) {
+	e.recordCut(f, idx, t, blocker)
+	jCut := t - f.t.start - idx
+	e.split(f, idx, jCut, t, true)
+}
+
+func (e *engine) recordCut(f *fragment, idx, t int, blocker *train) {
+	tr := f.t
+	tr.cut = true
+	e.res.CollisionCount++
+	out := &e.res.Outcomes[tr.outIdx]
+	if !tr.isAck && out.CutTime < 0 {
+		out.CutLink = idx
+		out.CutTime = t
+	}
+	if e.cfg.RecordCollisions {
+		e.res.Collisions = append(e.res.Collisions, Collision{
+			Time:       t,
+			Link:       tr.links[idx],
+			Wavelength: e.waveAt(tr, idx),
+			Band:       tr.band,
+			Loser:      tr.id,
+			Blocker:    blocker.id,
+			LoserIsAck: tr.isAck,
+		})
+	}
+}
+
+// split applies a cut at path index cutIdx destroying flit jCut. When
+// occupiedCut is true the fragment currently occupies links[cutIdx] (a
+// preempted incumbent); its occupancy there is surrendered to the caller.
+func (e *engine) split(f *fragment, cutIdx, jCut, t int, occupiedCut bool) {
+	f.gone = true
+	if e.cfg.Wreckage == Vanish {
+		// Drop all occupancy instantly.
+		limit := f.limit()
+		hi := f.hi(t)
+		if hi > limit {
+			hi = limit
+		}
+		for i := f.relUpTo; i <= hi; i++ {
+			if occupiedCut && i == cutIdx {
+				continue // the winner takes this slot
+			}
+			k := e.fragKey(f, i)
+			if oc, ok := e.occ[k]; ok && oc.f == f {
+				delete(e.occ, k)
+			}
+		}
+		f.headChild = nil
+		return
+	}
+
+	// Drain policy: ghost ahead of the cut, remnant behind it.
+	if jCut > f.jMin {
+		ghost := &fragment{
+			t:       f.t,
+			jMin:    f.jMin,
+			jMax:    jCut - 1,
+			barrier: f.barrier,
+			relUpTo: cutIdx + 1,
+		}
+		if ghost.relUpTo < f.relUpTo {
+			ghost.relUpTo = f.relUpTo
+		}
+		if ghost.lo(t) <= ghost.limit() {
+			e.reassign(f, ghost, ghost.relUpTo, minInt(ghost.hi(t), ghost.limit()))
+			e.active = append(e.active, ghost)
+			f.headChild = ghost
+		} else {
+			ghost.gone = true
+			e.complete(ghost, t)
+			f.headChild = nil
+		}
+	} else {
+		f.headChild = nil
+	}
+	if jCut < f.jMax {
+		rem := &fragment{
+			t:       f.t,
+			jMin:    jCut + 1,
+			jMax:    f.jMax,
+			barrier: cutIdx,
+			relUpTo: f.relUpTo,
+		}
+		if rem.lo(t) <= rem.limit() {
+			e.reassign(f, rem, maxInt(rem.relUpTo, maxInt(rem.lo(t), 0)), rem.limit())
+			e.active = append(e.active, rem)
+		}
+	}
+	// Any occupancy entry still pointing at f (in particular links[cutIdx]
+	// when the cut flit was an occupant and no winner replaces it) must go.
+	limit := f.limit()
+	hi := f.hi(t)
+	if hi > limit {
+		hi = limit
+	}
+	for i := f.relUpTo; i <= hi; i++ {
+		k := e.fragKey(f, i)
+		if oc, ok := e.occ[k]; ok && oc.f == f {
+			delete(e.occ, k)
+		}
+	}
+}
+
+// reassign moves occupancy entries for links [from, to] from old to nw.
+func (e *engine) reassign(old, nw *fragment, from, to int) {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i <= to; i++ {
+		k := e.fragKey(old, i)
+		if oc, ok := e.occ[k]; ok && oc.f == old {
+			e.occ[k] = occupant{f: nw, idx: i}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// checkInvariants validates the occupancy table against the fragment
+// windows after a step. Only used in tests.
+func (e *engine) checkInvariants(t int) error {
+	for k, oc := range e.occ {
+		f := oc.f
+		if f.gone {
+			return fmt.Errorf("sim: step %d: occupancy points at a gone fragment (worm %d)", t, f.t.id)
+		}
+		lo := maxInt(f.lo(t), 0)
+		hi := minInt(f.hi(t), f.limit())
+		if oc.idx < lo || oc.idx > hi {
+			return fmt.Errorf("sim: step %d: worm %d occupies link index %d outside window [%d,%d]",
+				t, f.t.id, oc.idx, lo, hi)
+		}
+		want := e.fragKey(f, oc.idx)
+		if want != k {
+			return fmt.Errorf("sim: step %d: occupancy key mismatch for worm %d", t, f.t.id)
+		}
+	}
+	// Fragments of one train must not overlap in flit ranges.
+	byTrain := make(map[*train][]*fragment)
+	for _, f := range e.active {
+		if !f.gone {
+			byTrain[f.t] = append(byTrain[f.t], f)
+		}
+	}
+	for tr, fs := range byTrain {
+		for a := 0; a < len(fs); a++ {
+			for b := a + 1; b < len(fs); b++ {
+				if fs[a].jMin <= fs[b].jMax && fs[b].jMin <= fs[a].jMax {
+					return fmt.Errorf("sim: step %d: worm %d has overlapping fragments", t, tr.id)
+				}
+			}
+		}
+	}
+	return nil
+}

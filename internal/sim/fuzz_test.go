@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/optical"
+	"repro/internal/topology"
+)
+
+// FuzzEngineVsReference decodes arbitrary bytes into a routing scenario
+// and asserts the fragment engine and the per-flit reference simulator
+// produce identical outcomes. `go test` runs the seed corpus; `go test
+// -fuzz=FuzzEngineVsReference ./internal/sim` explores further.
+func FuzzEngineVsReference(f *testing.F) {
+	f.Add([]byte{1, 0, 3, 1, 0, 2, 5, 1})
+	f.Add([]byte{0, 2, 0, 0, 0, 0, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{3, 1, 7, 2, 9, 0, 4, 4, 4, 4, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		g, worms, cfg := decodeScenario(data)
+		if len(worms) == 0 {
+			return
+		}
+		cfg.CheckInvariants = true
+		fast, errF := Run(g, worms, cfg)
+		cfg.CheckInvariants = false
+		ref, errR := RunReference(g, worms, cfg)
+		if (errF != nil) != (errR != nil) {
+			t.Fatalf("error disagreement: engine %v, reference %v", errF, errR)
+		}
+		if errF != nil {
+			return
+		}
+		for i := range worms {
+			if fast.Outcomes[i] != ref.Outcomes[i] {
+				t.Fatalf("worm %d: engine %+v vs reference %+v (worm %+v)",
+					i, fast.Outcomes[i], ref.Outcomes[i], worms[i])
+			}
+		}
+	})
+}
+
+// decodeScenario deterministically maps fuzz bytes to a small scenario.
+func decodeScenario(data []byte) (*graph.Graph, []Worm, Config) {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	graphs := []*graph.Graph{
+		topology.NewChain(6).Graph(),
+		topology.NewRing(5).Graph(),
+		topology.NewTorus(2, 3).Graph(),
+	}
+	g := graphs[int(next())%len(graphs)]
+	cfgByte := next()
+	cfg := Config{
+		Bandwidth: 1 + int(cfgByte&1),
+		Rule:      optical.Rule(int(cfgByte>>1) & 1),
+		Wreckage:  WreckagePolicy(int(cfgByte>>2) & 1),
+		Tie:       optical.TiePolicy(int(cfgByte>>3) & 1),
+		AckLength: int(cfgByte>>4) & 1,
+	}
+	if cfgByte>>5&1 == 1 {
+		cfg.Conversion = FullConversion
+	}
+	n := g.NumNodes()
+	var worms []Worm
+	id := 0
+	for len(data) >= 4 && id < 12 {
+		src := int(next()) % n
+		hops := 1 + int(next())%4
+		p := graph.Path{src}
+		for h := 0; h < hops; h++ {
+			ns := g.Neighbors(p[len(p)-1])
+			p = append(p, ns[int(next())%len(ns)])
+		}
+		b := next()
+		worms = append(worms, Worm{
+			ID:         id,
+			Path:       p,
+			Length:     1 + int(b&3),
+			Delay:      int(b>>2) & 7,
+			Wavelength: int(b>>5) % cfg.Bandwidth,
+			Rank:       id, // distinct ranks
+		})
+		id++
+	}
+	return g, worms, cfg
+}

@@ -1,0 +1,222 @@
+// Package sim implements the discrete-time simulator of bufferless
+// all-optical wormhole routing from Section 1.1 of Flammini & Scheideler
+// (SPAA'97).
+//
+// Worms are rigid trains of L flits moving one link per time step along a
+// fixed path: the worm with startup delay s occupies link i of its path
+// during steps [s+i, s+i+L-1] (flit j traverses link i during step s+i+j).
+// Worms cannot be buffered: on a wavelength conflict at a link, the losing
+// worm (the arriving one under the serve-first rule, the lower-ranked one
+// under the priority rule) is cut at that link.
+//
+// The wreckage of a cut is modelled by the fragment system: the losing
+// worm's flits that already passed the conflict link continue as a ghost
+// train toward the destination (they still occupy links and contend); the
+// flits behind keep flowing and are absorbed at the conflict link's
+// coupler (a barrier). This is the Drain policy; the Vanish policy removes
+// the loser instantly, which matches the pairwise accounting used in the
+// paper's analysis. Both policies never deliver a cut worm.
+//
+// Acknowledgements travel the reversed links in a reserved second band of
+// B wavelengths (the paper's simplification) and contend under the same
+// rule; a source only learns of success when the ack fully arrives.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/optical"
+)
+
+// WreckagePolicy selects what happens to a worm that loses a collision.
+type WreckagePolicy int
+
+const (
+	// Drain keeps the loser's wreckage in the network: downstream flits
+	// continue as a ghost, upstream flits drain into the conflict link's
+	// coupler. The physically faithful default.
+	Drain WreckagePolicy = iota
+	// Vanish removes the loser's occupancy instantly — the clean model
+	// that matches the paper's analysis of pairwise collisions.
+	Vanish
+)
+
+// String names the policy.
+func (w WreckagePolicy) String() string {
+	switch w {
+	case Drain:
+		return "drain"
+	case Vanish:
+		return "vanish"
+	default:
+		return fmt.Sprintf("WreckagePolicy(%d)", int(w))
+	}
+}
+
+// Config parameterizes one simulation run (one protocol round).
+type Config struct {
+	// Bandwidth is B, the number of wavelengths per band. Required >= 1.
+	Bandwidth int
+	// Rule is the contention-resolution rule of all couplers.
+	Rule optical.Rule
+	// Tie is the serve-first policy for simultaneous arrivals on a free
+	// wavelength (default TieEliminateAll).
+	Tie optical.TiePolicy
+	// Wreckage selects the Drain (default) or Vanish policy.
+	Wreckage WreckagePolicy
+	// AckLength is the flit length of acknowledgement worms. 0 selects
+	// oracle acknowledgements: sources learn success instantly and
+	// without contention.
+	AckLength int
+	// Conversion enables wavelength conversion (the paper's Section 4
+	// extension and the model of Cypher et al. [11]): when non-nil, a
+	// worm whose head would lose a conflict entering a link may shift to
+	// a free wavelength, provided Conversion(u) is true for the router u
+	// the link leaves from. Only arriving heads convert — a preempted
+	// incumbent is already mid-link and cannot. The worm keeps the new
+	// wavelength from that link onward; its acknowledgement uses the
+	// final wavelength. Use FullConversion for conversion everywhere.
+	Conversion func(node graph.NodeID) bool
+	// RecordCollisions retains a Collision entry for every lost conflict.
+	RecordCollisions bool
+	// CheckInvariants enables per-step internal consistency checks
+	// (occupancy table vs. fragment windows). For tests; slows the run.
+	CheckInvariants bool
+	// MaxSteps optionally bounds the simulation; 0 derives a safe bound
+	// from the input. Exceeding the bound returns an error (a bug guard,
+	// not an expected outcome).
+	MaxSteps int
+}
+
+// Worm is one message to route in this round.
+type Worm struct {
+	// ID is the caller's identifier, reported back in outcomes and
+	// collisions. IDs must be distinct and >= 0.
+	ID int
+	// Path is the node path; it must have at least one link.
+	Path graph.Path
+	// Length is L >= 1, the number of flits.
+	Length int
+	// Delay is the startup delay s >= 0: the head enters the first link
+	// at step s.
+	Delay int
+	// Wavelength in [0, Bandwidth).
+	Wavelength int
+	// Rank is the priority (higher wins) under the Priority rule.
+	Rank int
+}
+
+// FullConversion enables wavelength conversion at every router.
+func FullConversion(graph.NodeID) bool { return true }
+
+// Band distinguishes the message band from the reserved ack band.
+type Band int
+
+const (
+	// MessageBand carries the worms.
+	MessageBand Band = iota
+	// AckBand carries the acknowledgements.
+	AckBand
+)
+
+// Collision records one lost conflict.
+type Collision struct {
+	Time       int          // step at which the loser was cut
+	Link       graph.LinkID // physical directed link
+	Wavelength int
+	Band       Band
+	Loser      int  // worm ID that was cut
+	Blocker    int  // worm ID that prevented it (may also have lost, on ties)
+	LoserIsAck bool // the cut train was an acknowledgement
+}
+
+// Outcome is the fate of one worm in this round.
+type Outcome struct {
+	Delivered   bool // all L flits reached the destination
+	Acked       bool // the source received the acknowledgement
+	DeliveredAt int  // completion step; -1 if not delivered
+	AckedAt     int  // ack completion step; -1 if not acked
+	CutLink     int  // path link index of the first cut; -1 if never cut
+	CutTime     int  // step of the first cut; -1 if never cut
+}
+
+// Result is the full account of one simulated round.
+type Result struct {
+	// Outcomes[i] corresponds to worms[i] of the Run call.
+	Outcomes []Outcome
+	// Collisions in time order (only when RecordCollisions).
+	Collisions []Collision
+	// CollisionCount counts lost conflicts regardless of recording.
+	CollisionCount int
+	// Makespan is the last step at which anything happened.
+	Makespan int
+	// BusySlotSteps counts occupied (link, wavelength) slots summed over
+	// steps — the numerator of link utilization.
+	BusySlotSteps int
+	// DeliveredCount and AckedCount summarize the outcomes.
+	DeliveredCount, AckedCount int
+}
+
+// Utilization returns BusySlotSteps normalized by the message-band
+// capacity links*B*(makespan+1); acks occupy the reserved band, so values
+// slightly above 1 are possible when both bands are busy.
+func (r *Result) Utilization(links, bandwidth int) float64 {
+	if links <= 0 || bandwidth <= 0 || r.Makespan < 0 {
+		return 0
+	}
+	den := float64(links) * float64(bandwidth) * float64(r.Makespan+1)
+	if den == 0 {
+		return 0
+	}
+	return float64(r.BusySlotSteps) / den
+}
+
+// Delivered reports whether worm index i was fully delivered.
+func (r *Result) Delivered(i int) bool { return r.Outcomes[i].Delivered }
+
+// validate checks the configuration and worm specs.
+func validate(g *graph.Graph, worms []Worm, cfg Config) error {
+	if cfg.Bandwidth < 1 {
+		return fmt.Errorf("sim: bandwidth %d < 1", cfg.Bandwidth)
+	}
+	if cfg.AckLength < 0 {
+		return fmt.Errorf("sim: negative ack length %d", cfg.AckLength)
+	}
+	seen := make(map[int]bool, len(worms))
+	for i, w := range worms {
+		if w.ID < 0 {
+			return fmt.Errorf("sim: worm %d has negative ID %d", i, w.ID)
+		}
+		if seen[w.ID] {
+			return fmt.Errorf("sim: duplicate worm ID %d", w.ID)
+		}
+		seen[w.ID] = true
+		if err := w.Path.Validate(g); err != nil {
+			return fmt.Errorf("sim: worm %d: %w", w.ID, err)
+		}
+		if w.Path.Len() == 0 {
+			return fmt.Errorf("sim: worm %d has a zero-length path", w.ID)
+		}
+		// A worm occupies a contiguous run of DISTINCT links (Section 1.1);
+		// a path revisiting a directed link would make the worm collide
+		// with itself, which the model has no physics for.
+		usedLinks := make(map[graph.LinkID]bool, w.Path.Len())
+		for _, id := range w.Path.Links(g) {
+			if usedLinks[id] {
+				return fmt.Errorf("sim: worm %d revisits a directed link", w.ID)
+			}
+			usedLinks[id] = true
+		}
+		if w.Length < 1 {
+			return fmt.Errorf("sim: worm %d has length %d < 1", w.ID, w.Length)
+		}
+		if w.Delay < 0 {
+			return fmt.Errorf("sim: worm %d has negative delay %d", w.ID, w.Delay)
+		}
+		if w.Wavelength < 0 || w.Wavelength >= cfg.Bandwidth {
+			return fmt.Errorf("sim: worm %d wavelength %d out of [0,%d)", w.ID, w.Wavelength, cfg.Bandwidth)
+		}
+	}
+	return nil
+}

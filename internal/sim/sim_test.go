@@ -1,0 +1,432 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/optical"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// chain returns the chain graph on n nodes (links i -> i+1 and back).
+func chain(n int) *graph.Graph { return topology.NewChain(n).Graph() }
+
+// cfg returns a baseline config: B wavelengths, serve-first, drain,
+// oracle acks, invariant checking on.
+func cfg(b int) Config {
+	return Config{
+		Bandwidth:        b,
+		Rule:             optical.ServeFirst,
+		Wreckage:         Drain,
+		AckLength:        0,
+		RecordCollisions: true,
+		CheckInvariants:  true,
+	}
+}
+
+func mustRun(t *testing.T, g *graph.Graph, worms []Worm, c Config) *Result {
+	t.Helper()
+	res, err := Run(g, worms, c)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestSingleWormDelivery(t *testing.T) {
+	g := chain(5) // path 0->4: 4 links
+	res := mustRun(t, g, []Worm{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3, 4}, Length: 3, Delay: 2, Wavelength: 0},
+	}, cfg(1))
+	o := res.Outcomes[0]
+	if !o.Delivered || !o.Acked {
+		t.Fatalf("outcome = %+v, want delivered and acked", o)
+	}
+	// Delivery at s + k + L - 2 = 2 + 4 + 3 - 2 = 7.
+	if o.DeliveredAt != 7 {
+		t.Errorf("DeliveredAt = %d, want 7", o.DeliveredAt)
+	}
+	if o.CutLink != -1 || o.CutTime != -1 {
+		t.Errorf("uncut worm has cut fields: %+v", o)
+	}
+	if res.DeliveredCount != 1 || res.AckedCount != 1 {
+		t.Error("counters")
+	}
+	if len(res.Collisions) != 0 {
+		t.Errorf("collisions = %v", res.Collisions)
+	}
+}
+
+func TestLengthOneWorm(t *testing.T) {
+	g := chain(3)
+	res := mustRun(t, g, []Worm{
+		{ID: 0, Path: graph.Path{0, 1, 2}, Length: 1, Delay: 0, Wavelength: 0},
+	}, cfg(1))
+	o := res.Outcomes[0]
+	if !o.Delivered {
+		t.Fatal("L=1 worm not delivered")
+	}
+	// s + k + L - 2 = 0 + 2 + 1 - 2 = 1.
+	if o.DeliveredAt != 1 {
+		t.Errorf("DeliveredAt = %d, want 1", o.DeliveredAt)
+	}
+}
+
+func TestServeFirstLaterEntrantLoses(t *testing.T) {
+	g := chain(4)
+	// Worm 0 occupies link 0->1 during steps [0, 1] (L=2).
+	// Worm 1 enters the same link at step 1: eliminated.
+	res := mustRun(t, g, []Worm{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3}, Length: 2, Delay: 0, Wavelength: 0},
+		{ID: 1, Path: graph.Path{0, 1, 2}, Length: 2, Delay: 1, Wavelength: 0},
+	}, cfg(1))
+	if !res.Outcomes[0].Delivered {
+		t.Error("incumbent must survive under serve-first")
+	}
+	if res.Outcomes[1].Delivered {
+		t.Error("later entrant must be eliminated")
+	}
+	o := res.Outcomes[1]
+	if o.CutLink != 0 || o.CutTime != 1 {
+		t.Errorf("cut at link %d time %d, want link 0 time 1", o.CutLink, o.CutTime)
+	}
+	if len(res.Collisions) != 1 {
+		t.Fatalf("collisions = %v", res.Collisions)
+	}
+	c := res.Collisions[0]
+	if c.Loser != 1 || c.Blocker != 0 || c.Time != 1 {
+		t.Errorf("collision = %+v", c)
+	}
+}
+
+func TestDisjointWavelengthsNoConflict(t *testing.T) {
+	g := chain(4)
+	res := mustRun(t, g, []Worm{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3}, Length: 2, Delay: 0, Wavelength: 0},
+		{ID: 1, Path: graph.Path{0, 1, 2, 3}, Length: 2, Delay: 0, Wavelength: 1},
+	}, cfg(2))
+	if res.DeliveredCount != 2 {
+		t.Fatalf("delivered = %d, want 2 (different wavelengths)", res.DeliveredCount)
+	}
+}
+
+func TestTemporalSeparationNoConflict(t *testing.T) {
+	g := chain(4)
+	// Worm 0 (L=2) holds link 0 during [0,1]; worm 1 enters at 2: free.
+	res := mustRun(t, g, []Worm{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3}, Length: 2, Delay: 0, Wavelength: 0},
+		{ID: 1, Path: graph.Path{0, 1, 2, 3}, Length: 2, Delay: 2, Wavelength: 0},
+	}, cfg(1))
+	if res.DeliveredCount != 2 {
+		t.Fatalf("delivered = %d, want 2 (separated by L)", res.DeliveredCount)
+	}
+}
+
+func TestOppositeDirectionsNoConflict(t *testing.T) {
+	g := chain(4)
+	res := mustRun(t, g, []Worm{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3}, Length: 2, Delay: 0, Wavelength: 0},
+		{ID: 1, Path: graph.Path{3, 2, 1, 0}, Length: 2, Delay: 0, Wavelength: 0},
+	}, cfg(1))
+	if res.DeliveredCount != 2 {
+		t.Fatal("opposite directions use distinct links and must not conflict")
+	}
+}
+
+func TestSimultaneousTieEliminatesBoth(t *testing.T) {
+	// Two worms entering the same link at the same step from different
+	// incoming links (a Y junction).
+	g := graph.New(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	res := mustRun(t, g, []Worm{
+		{ID: 0, Path: graph.Path{0, 2, 3}, Length: 2, Delay: 0, Wavelength: 0},
+		{ID: 1, Path: graph.Path{1, 2, 3}, Length: 2, Delay: 0, Wavelength: 0},
+	}, cfg(1))
+	if res.DeliveredCount != 0 {
+		t.Fatal("simultaneous tie must eliminate both under TieEliminateAll")
+	}
+	if len(res.Collisions) != 2 {
+		t.Fatalf("collisions = %v", res.Collisions)
+	}
+	// Blockers must be the respective other worm.
+	for _, c := range res.Collisions {
+		if c.Blocker == c.Loser {
+			t.Errorf("self-blocking collision: %+v", c)
+		}
+	}
+}
+
+func TestSimultaneousTieArbitraryWinner(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	c := cfg(1)
+	c.Tie = optical.TieArbitraryWinner
+	res := mustRun(t, chainlike(g), []Worm{
+		{ID: 5, Path: graph.Path{0, 2, 3}, Length: 2, Delay: 0, Wavelength: 0},
+		{ID: 3, Path: graph.Path{1, 2, 3}, Length: 2, Delay: 0, Wavelength: 0},
+	}, c)
+	if !res.Outcomes[1].Delivered { // worm ID 3, smaller ID, wins
+		t.Error("smallest-ID entrant should win under TieArbitraryWinner")
+	}
+	if res.Outcomes[0].Delivered {
+		t.Error("larger-ID entrant should lose")
+	}
+}
+
+func chainlike(g *graph.Graph) *graph.Graph { return g }
+
+func TestPriorityPreemption(t *testing.T) {
+	g := chain(5)
+	c := cfg(1)
+	c.Rule = optical.Priority
+	// Low-rank worm 0 occupies link 1->2 from step 1 (delay 0, second
+	// link). High-rank worm 1 starts at node 1 with delay 2 and enters
+	// link 1->2 at step 2, while worm 0 (L=3) still holds it.
+	res := mustRun(t, g, []Worm{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3, 4}, Length: 3, Delay: 0, Wavelength: 0, Rank: 1},
+		{ID: 1, Path: graph.Path{1, 2, 3, 4}, Length: 3, Delay: 2, Wavelength: 0, Rank: 9},
+	}, c)
+	if res.Outcomes[0].Delivered {
+		t.Error("preempted incumbent must not be delivered")
+	}
+	if !res.Outcomes[1].Delivered {
+		t.Error("high-rank entrant must be delivered")
+	}
+	if res.Outcomes[0].CutLink != 1 {
+		t.Errorf("incumbent cut at link %d, want 1", res.Outcomes[0].CutLink)
+	}
+}
+
+func TestPriorityLowRankEntrantLoses(t *testing.T) {
+	g := chain(5)
+	c := cfg(1)
+	c.Rule = optical.Priority
+	res := mustRun(t, g, []Worm{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3, 4}, Length: 3, Delay: 0, Wavelength: 0, Rank: 9},
+		{ID: 1, Path: graph.Path{1, 2, 3, 4}, Length: 3, Delay: 2, Wavelength: 0, Rank: 1},
+	}, c)
+	if !res.Outcomes[0].Delivered || res.Outcomes[1].Delivered {
+		t.Error("high-rank incumbent survives, low-rank entrant loses")
+	}
+}
+
+func TestGhostBlocksDownstreamUnderDrain(t *testing.T) {
+	// Priority preemption creates a downstream ghost from the loser. The
+	// ghost keeps occupying links ahead and can eliminate a third worm,
+	// which would survive under Vanish.
+	//
+	// Topology: line 0-1-2-3-4-5 plus entry spurs 6-2 (preemptor) and
+	// 7-4 (probe).
+	g := graph.New(8)
+	for i := 0; i+1 < 6; i++ {
+		g.AddEdge(i, i+1)
+	}
+	g.AddEdge(6, 2)
+	g.AddEdge(7, 4)
+	worms := []Worm{
+		// Victim: low-rank L=4 worm crawling 0..5; it occupies link 2->3
+		// (index 2) during steps [2, 5].
+		{ID: 0, Path: graph.Path{0, 1, 2, 3, 4, 5}, Length: 4, Delay: 0, Wavelength: 0, Rank: 1},
+		// High-rank preemptor enters link 2->3 at step 5, cutting the
+		// victim's tail flit (j=3). The ghost (flits 0..2) keeps moving:
+		// it occupies link 4->5 during steps [4, 6].
+		{ID: 1, Path: graph.Path{6, 2, 3}, Length: 2, Delay: 4, Wavelength: 0, Rank: 9},
+		// Probe enters link 4->5 at step 6, where the ghost's last flit
+		// still travels under Drain; its rank is below the ghost's worm,
+		// so it is eliminated. Under Vanish the wreckage is gone.
+		{ID: 2, Path: graph.Path{7, 4, 5}, Length: 2, Delay: 5, Wavelength: 0, Rank: 0},
+	}
+	c := cfg(1)
+	c.Rule = optical.Priority
+
+	c.Wreckage = Drain
+	resDrain := mustRun(t, g, worms, c)
+	if resDrain.Outcomes[0].Delivered {
+		t.Error("preempted worm 0 must fail (drain)")
+	}
+	if !resDrain.Outcomes[1].Delivered {
+		t.Error("preemptor must be delivered (drain)")
+	}
+	if resDrain.Outcomes[2].Delivered {
+		t.Error("worm 2 must be blocked by the ghost under Drain")
+	}
+
+	c.Wreckage = Vanish
+	resVanish := mustRun(t, g, worms, c)
+	if resVanish.Outcomes[0].Delivered {
+		t.Error("preempted worm 0 must fail (vanish)")
+	}
+	if !resVanish.Outcomes[1].Delivered {
+		t.Error("preemptor must be delivered (vanish)")
+	}
+	if !resVanish.Outcomes[2].Delivered {
+		t.Error("worm 2 must be delivered under Vanish (wreckage removed)")
+	}
+}
+
+func TestUpstreamRemnantDrainsAndBlocks(t *testing.T) {
+	// After an entrant is eliminated at link e, its body keeps flowing and
+	// occupies the links before e while draining; a later worm entering
+	// one of those links collides with the remnant under Drain.
+	//
+	// Line 0-1-2-3-4 with spur 5-0... we use: blocker worm B holds link
+	// 2->3; victim V (long) enters 2->3 and is cut; V's remnant keeps
+	// occupying link 1->2 while draining; a probe P entering 1->2 then
+	// collides under Drain but not under Vanish.
+	g := graph.New(7)
+	for i := 0; i+1 < 5; i++ {
+		g.AddEdge(i, i+1)
+	}
+	g.AddEdge(5, 2) // blocker entry
+	g.AddEdge(6, 1) // probe entry
+	worms := []Worm{
+		// Blocker: enters 2->3 at step 0, L=6 so holds it during [0,5].
+		{ID: 0, Path: graph.Path{5, 2, 3}, Length: 6, Delay: 0, Wavelength: 0},
+		// Victim: long worm; enters 1->2 (index 1) at 2, 2->3 (index 2) at
+		// step 3 -> eliminated (occupied). Its remnant (flits 1..5) keeps
+		// draining into link 2->3's coupler, occupying 1->2 until step
+		// 2+5 = 7.
+		{ID: 1, Path: graph.Path{0, 1, 2, 3, 4}, Length: 6, Delay: 1, Wavelength: 0},
+		// Probe: enters 1->2 at step 6. Under Drain the victim's remnant
+		// still occupies 1->2 (flits j=4 at step 6: 1+1+4 = 6); under
+		// Vanish the link is free.
+		{ID: 2, Path: graph.Path{6, 1, 2}, Length: 1, Delay: 5, Wavelength: 0},
+	}
+	c := cfg(1)
+
+	c.Wreckage = Drain
+	resDrain := mustRun(t, g, worms, c)
+	if resDrain.Outcomes[1].Delivered {
+		t.Error("victim must fail")
+	}
+	if resDrain.Outcomes[2].Delivered {
+		t.Error("probe must hit the draining remnant under Drain")
+	}
+
+	c.Wreckage = Vanish
+	resVanish := mustRun(t, g, worms, c)
+	if !resVanish.Outcomes[2].Delivered {
+		t.Error("probe must pass under Vanish")
+	}
+}
+
+func TestDeliveredIffNeverCut(t *testing.T) {
+	// Random stress on a torus: every outcome must satisfy
+	// Delivered <=> CutTime == -1.
+	tor := topology.NewTorus(2, 4)
+	g := tor.Graph()
+	var worms []Worm
+	id := 0
+	for s := 0; s < 16; s++ {
+		d := (s*7 + 3) % 16
+		if d == s {
+			continue
+		}
+		p := g.ShortestPath(s, d)
+		worms = append(worms, Worm{
+			ID: id, Path: p, Length: 2, Delay: id % 3, Wavelength: id % 2,
+		})
+		id++
+	}
+	c := cfg(2)
+	for _, pol := range []WreckagePolicy{Drain, Vanish} {
+		c.Wreckage = pol
+		res := mustRun(t, g, worms, c)
+		for i, o := range res.Outcomes {
+			if o.Delivered != (o.CutTime == -1) {
+				t.Errorf("%v worm %d: delivered=%t but cutTime=%d", pol, i, o.Delivered, o.CutTime)
+			}
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	g := chain(3)
+	okWorm := Worm{ID: 0, Path: graph.Path{0, 1}, Length: 1, Wavelength: 0}
+	cases := map[string]struct {
+		worms []Worm
+		c     Config
+	}{
+		"bandwidth 0":    {[]Worm{okWorm}, Config{Bandwidth: 0}},
+		"neg ack":        {[]Worm{okWorm}, Config{Bandwidth: 1, AckLength: -1}},
+		"neg id":         {[]Worm{{ID: -1, Path: graph.Path{0, 1}, Length: 1}}, Config{Bandwidth: 1}},
+		"dup id":         {[]Worm{okWorm, okWorm}, Config{Bandwidth: 1}},
+		"bad path":       {[]Worm{{ID: 0, Path: graph.Path{0, 2}, Length: 1}}, Config{Bandwidth: 1}},
+		"empty path":     {[]Worm{{ID: 0, Path: graph.Path{1}, Length: 1}}, Config{Bandwidth: 1}},
+		"zero length":    {[]Worm{{ID: 0, Path: graph.Path{0, 1}, Length: 0}}, Config{Bandwidth: 1}},
+		"neg delay":      {[]Worm{{ID: 0, Path: graph.Path{0, 1}, Length: 1, Delay: -1}}, Config{Bandwidth: 1}},
+		"bad wavelength": {[]Worm{{ID: 0, Path: graph.Path{0, 1}, Length: 1, Wavelength: 5}}, Config{Bandwidth: 1}},
+	}
+	for name, tc := range cases {
+		if _, err := Run(g, tc.worms, tc.c); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	g := chain(3)
+	res := mustRun(t, g, nil, cfg(1))
+	if len(res.Outcomes) != 0 || res.DeliveredCount != 0 {
+		t.Error("empty run should be trivial")
+	}
+}
+
+func TestWreckagePolicyString(t *testing.T) {
+	if Drain.String() != "drain" || Vanish.String() != "vanish" {
+		t.Error("strings")
+	}
+	if WreckagePolicy(7).String() == "" {
+		t.Error("unknown policy string empty")
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	g := chain(8)
+	worms := []Worm{{ID: 0, Path: graph.Path{0, 1, 2, 3, 4, 5, 6, 7}, Length: 4, Delay: 0, Wavelength: 0}}
+	c := cfg(1)
+	c.MaxSteps = 2 // far too small
+	if _, err := Run(g, worms, c); err == nil {
+		t.Error("engine MaxSteps guard did not fire")
+	}
+	if _, err := RunReference(g, worms, c); err == nil {
+		t.Error("reference MaxSteps guard did not fire")
+	}
+}
+
+func TestDynamicMaxStepsGuard(t *testing.T) {
+	g := chain(8)
+	reqs := []Request{{ID: 0, Path: graph.Path{0, 1, 2, 3, 4, 5, 6, 7}, Length: 4}}
+	_, err := RunDynamic(g, reqs, DynamicConfig{
+		Sim: Config{Bandwidth: 1, MaxSteps: 2},
+	}, rng.New(1))
+	if err == nil {
+		t.Error("dynamic MaxSteps guard did not fire")
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	g := chain(4)
+	res := mustRun(t, g, []Worm{
+		{ID: 0, Path: graph.Path{0, 1, 2, 3}, Length: 2, Delay: 0, Wavelength: 0},
+	}, cfg(1))
+	// Occupancy: 3 links x 2 steps each = 6 slot-steps.
+	if res.BusySlotSteps != 6 {
+		t.Errorf("BusySlotSteps = %d, want 6", res.BusySlotSteps)
+	}
+	u := res.Utilization(g.NumLinks(), 1)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %v out of (0, 1]", u)
+	}
+	if (&Result{Makespan: -1}).Utilization(1, 1) != 0 {
+		t.Error("degenerate utilization should be 0")
+	}
+	if res.Utilization(0, 1) != 0 || res.Utilization(1, 0) != 0 {
+		t.Error("zero capacity should give 0")
+	}
+}

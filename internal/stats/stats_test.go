@@ -1,0 +1,322 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !approx(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with Bessel correction: sum sq dev = 32, n-1 = 7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !approx(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !approx(got, math.Sqrt(want), 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(want))
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -2, 7, 0}
+	if Min(xs) != -2 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v, want -2/7", Min(xs), Max(xs))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !approx(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Median([]float64{9}) != 9 {
+		t.Error("Median of singleton")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if s.CI95Lo >= s.Mean || s.CI95Hi <= s.Mean {
+		t.Errorf("CI does not bracket mean: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Slope, 2, 1e-12) || !approx(fit.Intercept, 3, 1e-12) || !approx(fit.R2, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 3 R2 1", fit)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point not rejected")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x not rejected")
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	r := rng.New(8)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 1.5*xs[i] + 10 + 0.1*r.NormFloat64()
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Slope, 1.5, 0.01) {
+		t.Errorf("noisy slope = %v, want ~1.5", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want near 1", fit.R2)
+	}
+}
+
+func TestFitPower(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 0.5)
+	}
+	fit, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Exponent, 0.5, 1e-9) || !approx(fit.Coeff, 3, 1e-9) {
+		t.Errorf("power fit = %+v, want exponent 0.5 coeff 3", fit)
+	}
+}
+
+func TestFitPowerRejectsNonPositive(t *testing.T) {
+	if _, err := FitPower([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Error("zero x not rejected")
+	}
+	if _, err := FitPower([]float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("negative y not rejected")
+	}
+	if _, err := FitPower([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 15} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin 1 = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin 4 = %d, want 1", h.Counts[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if got := h.BinCenter(0); !approx(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid histogram construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestChernoffBounds(t *testing.T) {
+	// Monotone in mu, bounded by 1, and small for large deviations.
+	if b := ChernoffUpperTail(100, 1); b >= 1e-10 {
+		t.Errorf("upper tail bound too weak: %v", b)
+	}
+	if b := ChernoffUpperTail(0, 1); b != 1 {
+		t.Errorf("zero mu should yield trivial bound, got %v", b)
+	}
+	if b := ChernoffLowerTail(100, 0.5); b >= math.Exp(-12) {
+		t.Errorf("lower tail bound too weak: %v", b)
+	}
+	if ChernoffLowerTail(10, 2) != ChernoffLowerTail(10, 1) {
+		t.Error("eps should be clamped at 1 for the lower tail")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	gm, err := GeometricMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(gm, 4, 1e-9) {
+		t.Errorf("GeometricMean = %v, want 4", gm)
+	}
+	if _, err := GeometricMean(nil); err != ErrEmpty {
+		t.Error("empty sample not rejected")
+	}
+	if _, err := GeometricMean([]float64{1, 0}); err == nil {
+		t.Error("zero not rejected")
+	}
+}
+
+func TestMeanIntAndFloats(t *testing.T) {
+	if got := MeanInt([]int{1, 2, 3}); !approx(got, 2, 1e-12) {
+		t.Errorf("MeanInt = %v", got)
+	}
+	if got := MeanInt(nil); got != 0 {
+		t.Errorf("MeanInt(nil) = %v", got)
+	}
+	fs := Floats([]int{1, 2})
+	if len(fs) != 2 || fs[0] != 1 || fs[1] != 2 {
+		t.Errorf("Floats = %v", fs)
+	}
+}
+
+func TestQuantilePropertyBounds(t *testing.T) {
+	r := rng.New(4)
+	check := func(seed uint32, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		q := Quantile(xs, 0.5)
+		return q >= Min(xs) && q <= Max(xs)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanBetweenMinMaxProperty(t *testing.T) {
+	r := rng.New(14)
+	check := func(n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-12 && m <= Max(xs)+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelchT(t *testing.T) {
+	r := rng.New(55)
+	same1 := make([]float64, 200)
+	same2 := make([]float64, 200)
+	for i := range same1 {
+		same1[i] = r.NormFloat64()
+		same2[i] = r.NormFloat64()
+	}
+	_, p, err := WelchT(same1, same2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("same-distribution samples rejected: p = %v", p)
+	}
+	shifted := make([]float64, 200)
+	for i := range shifted {
+		shifted[i] = r.NormFloat64() + 1.0
+	}
+	_, p, err = WelchT(same1, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("shifted samples not detected: p = %v", p)
+	}
+	if _, _, err := WelchT([]float64{1}, same1); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	if _, p, err := WelchT([]float64{2, 2}, []float64{2, 2}); err != nil || p != 1 {
+		t.Error("identical constant samples should give p = 1")
+	}
+	if _, _, err := WelchT([]float64{2, 2}, []float64{3, 3}); err == nil {
+		t.Error("zero variance with distinct means should error")
+	}
+}

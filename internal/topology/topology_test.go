@@ -1,0 +1,225 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// checkAutomorphism verifies that phi is a graph automorphism of g: a
+// bijection on nodes mapping edges to edges.
+func checkAutomorphism(t *testing.T, g *graph.Graph, phi func(graph.NodeID) graph.NodeID) {
+	t.Helper()
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	for u := 0; u < n; u++ {
+		v := phi(u)
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("phi is not a bijection: phi(%d) = %d", u, v)
+		}
+		seen[v] = true
+	}
+	for u := 0; u < n; u++ {
+		for _, w := range g.Neighbors(u) {
+			if !g.HasEdge(phi(u), phi(w)) {
+				t.Fatalf("phi does not preserve edge {%d,%d}: image {%d,%d} missing",
+					u, w, phi(u), phi(w))
+			}
+		}
+	}
+}
+
+// checkVertexTransitive verifies AutomorphismTo for a sample of targets.
+func checkVertexTransitive(t *testing.T, vt VertexTransitive) {
+	t.Helper()
+	g := vt.Graph()
+	n := g.NumNodes()
+	targets := []int{0, 1, n / 2, n - 1}
+	for _, u := range targets {
+		phi := vt.AutomorphismTo(u)
+		if phi(0) != u {
+			t.Fatalf("%s: AutomorphismTo(%d) maps 0 to %d", vt.Name(), u, phi(0))
+		}
+		checkAutomorphism(t, g, phi)
+	}
+}
+
+func TestChain(t *testing.T) {
+	c := NewChain(5)
+	g := c.Graph()
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("chain(5): %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("chain(5) diameter = %d", g.Diameter())
+	}
+	if c.Name() != "chain(5)" {
+		t.Errorf("name = %q", c.Name())
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(8)
+	g := r.Graph()
+	if g.NumNodes() != 8 || g.NumEdges() != 8 {
+		t.Fatalf("ring(8): %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("ring(8) diameter = %d", g.Diameter())
+	}
+	for u := 0; u < 8; u++ {
+		if g.Degree(u) != 2 {
+			t.Errorf("ring degree at %d = %d", u, g.Degree(u))
+		}
+	}
+	checkVertexTransitive(t, r)
+}
+
+func TestComplete(t *testing.T) {
+	c := NewComplete(6)
+	g := c.Graph()
+	if g.NumEdges() != 15 {
+		t.Fatalf("K6 edges = %d", g.NumEdges())
+	}
+	if g.Diameter() != 1 {
+		t.Errorf("K6 diameter = %d", g.Diameter())
+	}
+	checkVertexTransitive(t, c)
+}
+
+func TestStar(t *testing.T) {
+	s := NewStar(7)
+	g := s.Graph()
+	if g.Degree(0) != 6 {
+		t.Errorf("star center degree = %d", g.Degree(0))
+	}
+	for u := 1; u < 7; u++ {
+		if g.Degree(u) != 1 {
+			t.Errorf("star leaf degree = %d", g.Degree(u))
+		}
+	}
+	if g.Diameter() != 2 {
+		t.Errorf("star diameter = %d", g.Diameter())
+	}
+}
+
+func TestCirculant(t *testing.T) {
+	c := NewCirculant(12, []int{1, 3})
+	g := c.Graph()
+	if g.NumNodes() != 12 {
+		t.Fatal("node count")
+	}
+	for u := 0; u < 12; u++ {
+		if g.Degree(u) != 4 {
+			t.Errorf("circulant degree at %d = %d", u, g.Degree(u))
+		}
+	}
+	checkVertexTransitive(t, c)
+	if !g.HasEdge(0, 3) || !g.HasEdge(0, 11) {
+		t.Error("offset edges missing")
+	}
+}
+
+func TestCirculantPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"too small":      func() { NewCirculant(2, []int{1}) },
+		"no offsets":     func() { NewCirculant(5, nil) },
+		"offset too big": func() { NewCirculant(10, []int{6}) },
+		"offset zero":    func() { NewCirculant(10, []int{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDeBruijn(t *testing.T) {
+	d := NewDeBruijn(4)
+	g := d.Graph()
+	if g.NumNodes() != 16 {
+		t.Fatalf("debruijn(4) nodes = %d", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Error("de Bruijn not connected")
+	}
+	// Node u adjacent to 2u and 2u+1 mod n.
+	if !g.HasEdge(3, 6) || !g.HasEdge(3, 7) {
+		t.Error("de Bruijn shift edges missing")
+	}
+	if g.MaxDegree() > 4 {
+		t.Errorf("de Bruijn max degree = %d, want <= 4", g.MaxDegree())
+	}
+}
+
+func TestShuffleExchange(t *testing.T) {
+	s := NewShuffleExchange(4)
+	g := s.Graph()
+	if g.NumNodes() != 16 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Error("shuffle-exchange not connected")
+	}
+	if !g.HasEdge(5, 4) { // exchange edge: 0101 - 0100
+		t.Error("exchange edge missing")
+	}
+	if !g.HasEdge(5, 10) { // shuffle edge: 0101 -> 1010
+		t.Error("shuffle edge missing")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	src := rng.New(42)
+	r := NewRandomRegular(20, 4, src)
+	g := r.Graph()
+	if g.NumNodes() != 20 {
+		t.Fatal("node count")
+	}
+	for u := 0; u < 20; u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("degree at %d = %d, want 4", u, g.Degree(u))
+		}
+	}
+	if !g.Connected() {
+		t.Error("random regular graph not connected")
+	}
+}
+
+func TestRandomRegularPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"odd product": func() { NewRandomRegular(5, 3, rng.New(1)) },
+		"d too small": func() { NewRandomRegular(5, 1, rng.New(1)) },
+		"d too big":   func() { NewRandomRegular(4, 4, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a := NewRandomRegular(16, 3, rng.New(7)).Graph()
+	b := NewRandomRegular(16, 3, rng.New(7)).Graph()
+	for u := 0; u < 16; u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			t.Fatal("same seed produced different graphs")
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatal("same seed produced different graphs")
+			}
+		}
+	}
+}

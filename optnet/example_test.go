@@ -1,0 +1,68 @@
+package optnet_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/optnet"
+)
+
+// The basic flow: network, workload, route.
+func ExampleRoute() {
+	net := optnet.Torus(2, 8)
+	wl := optnet.Permutation(net, 42)
+	res, err := optnet.Route(net, wl, optnet.Params{
+		Bandwidth:  2,
+		WormLength: 4,
+		Rule:       optnet.ServeFirst,
+		AckLength:  1,
+		Seed:       7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("all delivered:", res.AllDelivered)
+	// Output: all delivered: true
+}
+
+// Analyze reports the paper's problem parameters for a workload.
+func ExampleAnalyze() {
+	net := optnet.Hypercube(4)
+	stats, err := optnet.Analyze(net, optnet.Permutation(net, 3))
+	if err != nil {
+		panic(err)
+	}
+	// Bit-fixing paths are shortest paths, hence short-cut free.
+	fmt.Println("shortcut-free:", stats.ShortCutFree)
+	fmt.Println("dilation <= diameter:", stats.Dilation <= 4)
+	// Output:
+	// shortcut-free: true
+	// dilation <= diameter: true
+}
+
+// Priority routers with explicit advanced protocol configuration.
+func ExampleRoute_advanced() {
+	net := optnet.Butterfly(4)
+	wl := optnet.ButterflyQFunction(net, 2, 5)
+	res, err := optnet.Route(net, wl, optnet.Params{
+		Bandwidth:  2,
+		WormLength: 4,
+		Rule:       optnet.Priority,
+		Seed:       9,
+		Advanced: &optnet.Advanced{
+			Schedule:   core.HalvingSchedule{C1: 4},
+			Priorities: core.RandomRanks{},
+			Wreckage:   sim.Drain,
+			Conversion: sim.FullConversion,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("schedule:", res.ScheduleName)
+	fmt.Println("all delivered:", res.AllDelivered)
+	// Output:
+	// schedule: halving
+	// all delivered: true
+}

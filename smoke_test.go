@@ -1,0 +1,90 @@
+package repro
+
+// Smoke tests: every command and example must build, and the fast ones
+// must run to completion with healthy output. These run the real
+// binaries via `go run`, exercising the flag plumbing end to end.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runBinary executes `go run <pkg> <args>` with a timeout and returns
+// combined output.
+func runBinary(t *testing.T, timeout time.Duration, pkg string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", pkg}, args...)...)
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		t.Fatalf("%s timed out after %v", pkg, timeout)
+	}
+	if err != nil {
+		t.Fatalf("%s failed: %v\n%s", pkg, err, out)
+	}
+	return string(out)
+}
+
+func TestSmokeCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests build binaries")
+	}
+	cases := []struct {
+		pkg  string
+		args []string
+		want string
+	}{
+		{"./cmd/optroute", []string{"-topo", "torus", "-side", "5", "-B", "2", "-L", "3"}, "all delivered: true"},
+		{"./cmd/optroute", []string{"-topo", "hypercube", "-dim", "4", "-rule", "priority", "-convert", "-witness"}, "Claim 2.6 holds: true"},
+		{"./cmd/optroute", []string{"-topo", "mesh", "-side", "5", "-hops", "2"}, "all delivered: true"},
+		{"./cmd/experiments", []string{"-run", "A4", "-quick"}, "== A4:"},
+		{"./cmd/experiments", []string{"-run", "A4", "-quick", "-json"}, "\"id\": \"A4\""},
+		{"./cmd/experiments", []string{"-list"}, "E1"},
+		{"./cmd/lowerbound", []string{"-kind", "cyclic", "-structures", "8", "-delta", "8"}, "all delivered: true"},
+		{"./cmd/topogen", []string{"-topo", "butterfly", "-dim", "3", "-workload", "qfunc", "-dot"}, "graph \"butterfly(3)\""},
+		{"./cmd/trace", []string{"-topo", "ring", "-size", "6", "-worms", "3", "-L", "2"}, "space-time diagram"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.pkg, "./cmd/")+strings.Join(tc.args, "_"), func(t *testing.T) {
+			out := runBinary(t, 2*time.Minute, tc.pkg, tc.args...)
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("%s %v: output missing %q:\n%s", tc.pkg, tc.args, tc.want, out)
+			}
+		})
+	}
+}
+
+func TestSmokeExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests build binaries")
+	}
+	cases := []struct {
+		pkg  string
+		want string
+	}{
+		{"./examples/quickstart", "delivered all"},
+		{"./examples/adversarial", "Claim 2.6"},
+		{"./examples/supercomputer", "bit-reversal"},
+		{"./examples/wavelengths", "routing time"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.pkg, "./examples/"), func(t *testing.T) {
+			out := runBinary(t, 3*time.Minute, tc.pkg)
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("%s: output missing %q:\n%s", tc.pkg, tc.want, out)
+			}
+		})
+	}
+}
