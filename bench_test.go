@@ -7,11 +7,14 @@ package repro
 // full tables are produced by `go run ./cmd/experiments -all`.
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/optical"
 	"repro/internal/paths"
 	"repro/internal/rng"
@@ -63,16 +66,17 @@ func BenchmarkS1_Scorecard(b *testing.B)            { benchExperiment(b, "S1") }
 
 // Micro-benchmarks of the kernels.
 
-// BenchmarkSimRound measures one simulated round of 256 worms on a
-// 16x16 torus (the protocol's inner loop).
-func BenchmarkSimRound(b *testing.B) {
-	tor := topology.NewTorus(2, 16)
+// simRoundWorkload builds the standard kernel workload: 256 worms of a
+// random permutation on a 16x16 torus, bandwidth 4 (the protocol's inner
+// loop at its usual operating point).
+func simRoundWorkload(tb testing.TB, side int) (*graph.Graph, []sim.Worm, sim.Config) {
+	tor := topology.NewTorus(2, side)
 	g := tor.Graph()
 	src := rng.New(7)
 	prs := paths.RandomPermutation(g.NumNodes(), src)
 	col, err := paths.Build(g, prs, paths.DimOrderTorus(tor))
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	worms := make([]sim.Worm, col.Size())
 	for i := range worms {
@@ -81,13 +85,118 @@ func BenchmarkSimRound(b *testing.B) {
 			Delay: src.Intn(64), Wavelength: src.Intn(4),
 		}
 	}
-	cfg := sim.Config{Bandwidth: 4, Rule: optical.ServeFirst, AckLength: 1}
+	return g, worms, sim.Config{Bandwidth: 4, Rule: optical.ServeFirst, AckLength: 1}
+}
+
+// BenchmarkSimRound measures one simulated round of 256 worms on a
+// 16x16 torus through the package-level entry point (a fresh engine per
+// call, as one-shot callers see it).
+func BenchmarkSimRound(b *testing.B) {
+	g, worms, cfg := simRoundWorkload(b, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(g, worms, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineSteadyState measures the same round on a reused Engine —
+// the protocol's steady state, where buffers are warm and the hot path
+// should allocate nothing. Compare against BenchmarkEngineFresh with
+//
+//	go test -bench BenchmarkEngine -benchmem .
+func BenchmarkEngineSteadyState(b *testing.B) {
+	g, worms, cfg := simRoundWorkload(b, 16)
+	eng := sim.NewEngine()
+	if _, err := eng.Run(g, worms, cfg); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(g, worms, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineFresh measures the same round with a cold Engine per
+// iteration, isolating the cost of first-run buffer growth.
+func BenchmarkEngineFresh(b *testing.B) {
+	g, worms, cfg := simRoundWorkload(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.NewEngine().Run(g, worms, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEmitBenchTrajectory writes BENCH_sim.json with the simulator kernel
+// numbers across a ladder of torus sizes. Gated on an env var so plain
+// `go test` stays fast; emit with
+//
+//	BENCH_SIM_JSON=BENCH_sim.json go test -run TestEmitBenchTrajectory .
+func TestEmitBenchTrajectory(t *testing.T) {
+	path := os.Getenv("BENCH_SIM_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SIM_JSON=<file> to emit the benchmark trajectory")
+	}
+	type point struct {
+		Bench     string `json:"bench"`
+		TorusSide int    `json:"torus_side"`
+		Worms     int    `json:"worms"`
+		NsPerOp   int64  `json:"ns_per_op"`
+		AllocsOp  int64  `json:"allocs_per_op"`
+		BytesOp   int64  `json:"bytes_per_op"`
+	}
+	var points []point
+	for _, side := range []int{8, 16, 24} {
+		for _, mode := range []string{"steady", "fresh"} {
+			side, mode := side, mode
+			r := testing.Benchmark(func(b *testing.B) {
+				g, worms, cfg := simRoundWorkload(b, side)
+				eng := sim.NewEngine()
+				if mode == "steady" {
+					if _, err := eng.Run(g, worms, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "fresh" {
+						eng = sim.NewEngine()
+					}
+					if _, err := eng.Run(g, worms, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			points = append(points, point{
+				Bench:     "BenchmarkEngine/" + mode,
+				TorusSide: side,
+				Worms:     side * side,
+				NsPerOp:   r.NsPerOp(),
+				AllocsOp:  r.AllocsPerOp(),
+				BytesOp:   r.AllocedBytesPerOp(),
+			})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(points); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d points to %s", len(points), path)
 }
 
 // BenchmarkProtocolTorus measures a complete protocol run end to end.

@@ -268,6 +268,15 @@ type Result struct {
 // Run executes the Trial-and-Failure protocol on the collection. The
 // caller's rng source drives all randomness, making runs reproducible.
 func Run(c *paths.Collection, cfg Config, src *rng.Source) (*Result, error) {
+	return RunWithEngine(c, cfg, src, sim.NewEngine())
+}
+
+// RunWithEngine is Run with a caller-provided simulator engine. The engine
+// is reused for every round, and callers that execute many protocol runs
+// (Monte-Carlo trial loops, parameter ladders) should hold one engine per
+// goroutine and pass it here so the simulator's scratch memory is recycled
+// across runs. The engine must not be shared between goroutines.
+func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.Engine) (*Result, error) {
 	if c.Size() == 0 {
 		return &Result{AllDelivered: true, ScheduleName: scheduleOf(cfg).Name()}, nil
 	}
@@ -320,6 +329,7 @@ func Run(c *paths.Collection, cfg Config, src *rng.Source) (*Result, error) {
 		active[i] = i
 	}
 	g := c.Graph()
+	worms := make([]sim.Worm, 0, c.Size()) // reused across rounds
 
 	for t := 1; len(active) > 0 && t <= maxRounds; t++ {
 		delta := sched.Range(t, params)
@@ -339,7 +349,7 @@ func Run(c *paths.Collection, cfg Config, src *rng.Source) (*Result, error) {
 			ranks = prio.Assign(t, active, src)
 		}
 		lambdas := waves.Assign(t, active, c, cfg.Bandwidth, src)
-		worms := make([]sim.Worm, len(active))
+		worms = worms[:len(active)]
 		for i, idx := range active {
 			length := cfg.Length
 			if cfg.Lengths != nil {
@@ -357,7 +367,7 @@ func Run(c *paths.Collection, cfg Config, src *rng.Source) (*Result, error) {
 			}
 			worms[i] = w
 		}
-		simRes, err := sim.Run(g, worms, sim.Config{
+		simRes, err := eng.Run(g, worms, sim.Config{
 			Bandwidth:        cfg.Bandwidth,
 			Rule:             cfg.Rule,
 			Tie:              cfg.Tie,
@@ -391,7 +401,9 @@ func Run(c *paths.Collection, cfg Config, src *rng.Source) (*Result, error) {
 		stats.Makespan = simRes.Makespan
 		stats.Utilization = simRes.Utilization(g.NumLinks(), cfg.Bandwidth)
 		if cfg.RecordCollisions {
-			res.RoundTraces = append(res.RoundTraces, simRes.Collisions)
+			// The engine owns simRes.Collisions and recycles it next round;
+			// retained traces need their own copy.
+			res.RoundTraces = append(res.RoundTraces, append([]sim.Collision(nil), simRes.Collisions...))
 		}
 		res.Rounds = append(res.Rounds, stats)
 		res.TotalTime += stats.AccountedTime

@@ -36,27 +36,29 @@ func (o Options) trials(def int) int {
 	return def
 }
 
-// Table is a printable experiment result.
+// Table is a printable experiment result. Rows hold the raw values passed
+// to AddRow; formatting happens only at text-print time (CellString), so
+// WriteJSON keeps full numeric precision for downstream plotting.
 type Table struct {
 	ID      string
 	Title   string
 	Notes   []string
 	Columns []string
-	Rows    [][]string
+	Rows    [][]any
 }
 
-// AddRow appends a formatted row; values are rendered with %v.
-func (t *Table) AddRow(vals ...interface{}) {
-	row := make([]string, len(vals))
-	for i, v := range vals {
-		switch x := v.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.2f", x)
-		default:
-			row[i] = fmt.Sprintf("%v", v)
-		}
+// AddRow appends a row of raw, unformatted values.
+func (t *Table) AddRow(vals ...any) {
+	t.Rows = append(t.Rows, append([]any(nil), vals...))
+}
+
+// CellString renders one cell for aligned-text display: float64 values as
+// %.2f, everything else with %v.
+func CellString(v any) string {
+	if x, ok := v.(float64); ok {
+		return fmt.Sprintf("%.2f", x)
 	}
-	t.Rows = append(t.Rows, row)
+	return fmt.Sprintf("%v", v)
 }
 
 // Fprint renders the table as aligned text.
@@ -65,11 +67,18 @@ func (t *Table) Fprint(w io.Writer) {
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "   %s\n", n)
 	}
+	rows := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = make([]string, len(r))
+		for j, cell := range r {
+			rows[i][j] = CellString(cell)
+		}
+	}
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
-	for _, r := range t.Rows {
+	for _, r := range rows {
 		for i, cell := range r {
 			if i < len(widths) && len(cell) > widths[i] {
 				widths[i] = len(cell)
@@ -89,23 +98,25 @@ func (t *Table) Fprint(w io.Writer) {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	printRow(sep)
-	for _, r := range t.Rows {
+	for _, r := range rows {
 		printRow(r)
 	}
 	fmt.Fprintln(w)
 }
 
 // WriteJSON renders the table as a JSON object with id, title, notes,
-// columns and rows — for downstream plotting tools.
+// columns and rows — for downstream plotting tools. Numeric cells are
+// emitted as JSON numbers at full precision (they are only rounded for
+// the text rendering).
 func (t *Table) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		ID      string     `json:"id"`
-		Title   string     `json:"title"`
-		Notes   []string   `json:"notes,omitempty"`
-		Columns []string   `json:"columns"`
-		Rows    [][]string `json:"rows"`
+		ID      string   `json:"id"`
+		Title   string   `json:"title"`
+		Notes   []string `json:"notes,omitempty"`
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
 	}{t.ID, t.Title, t.Notes, t.Columns, t.Rows})
 }
 

@@ -95,10 +95,10 @@ func TestE5Separation(t *testing.T) {
 		t.Fatal(err)
 	}
 	last := tbl.Rows[len(tbl.Rows)-1]
-	sf, err1 := strconv.ParseFloat(last[2], 64)
-	pr, err2 := strconv.ParseFloat(last[3], 64)
-	if err1 != nil || err2 != nil {
-		t.Fatalf("cannot parse rounds from row %v", last)
+	sf, ok1 := cellFloat(last[2])
+	pr, ok2 := cellFloat(last[3])
+	if !ok1 || !ok2 {
+		t.Fatalf("cannot read rounds from row %v", last)
 	}
 	if sf < pr {
 		t.Errorf("serve-first rounds %.2f < priority rounds %.2f: separation inverted", sf, pr)
@@ -114,9 +114,9 @@ func TestE6Decay(t *testing.T) {
 	}
 	prev := 1 << 30
 	for _, r := range tbl.Rows {
-		cur, err := strconv.Atoi(r[2])
-		if err != nil {
-			t.Fatalf("residual congestion cell %q", r[2])
+		cur, ok := r[2].(int)
+		if !ok {
+			t.Fatalf("residual congestion cell %v (%T)", r[2], r[2])
 		}
 		if cur > prev {
 			t.Errorf("residual congestion grew: %d -> %d", prev, cur)
@@ -137,10 +137,10 @@ func TestF4Forests(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range tbl.Rows {
-		name, claim := r[0], r[4]
+		name, claim := r[0].(string), r[4]
 		if strings.Contains(name, "leveled") || strings.Contains(name, "priority") {
-			if claim != "true" {
-				t.Errorf("%s: claim2.6 = %s, want true", name, claim)
+			if claim != true {
+				t.Errorf("%s: claim2.6 = %v, want true", name, claim)
 			}
 		}
 	}
@@ -158,11 +158,48 @@ func TestOptionsTrials(t *testing.T) {
 	}
 }
 
+// TestTableAddRowFormatting: rows store the raw values; %.2f rounding is
+// applied only by the text renderer.
 func TestTableAddRowFormatting(t *testing.T) {
 	tbl := &Table{ID: "X", Columns: []string{"a", "b"}}
 	tbl.AddRow(1.23456, "s")
-	if tbl.Rows[0][0] != "1.23" || tbl.Rows[0][1] != "s" {
-		t.Errorf("row = %v", tbl.Rows[0])
+	if tbl.Rows[0][0] != 1.23456 || tbl.Rows[0][1] != "s" {
+		t.Errorf("row = %v, want raw values", tbl.Rows[0])
+	}
+	if got := CellString(tbl.Rows[0][0]); got != "1.23" {
+		t.Errorf("CellString = %q, want 1.23", got)
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	if !strings.Contains(buf.String(), "1.23") || strings.Contains(buf.String(), "1.23456") {
+		t.Errorf("Fprint must round floats to 2 decimals:\n%s", buf.String())
+	}
+}
+
+// TestWriteJSONPrecision is the regression test for the lossy-table bug:
+// AddRow used to stringify every float64 to %.2f at insertion time, so
+// WriteJSON emitted permanently rounded values. JSON must now carry the
+// full-precision number.
+func TestWriteJSONPrecision(t *testing.T) {
+	tbl := &Table{ID: "X", Columns: []string{"v"}}
+	const v = 1.2345678901234567
+	tbl.AddRow(v)
+	var buf bytes.Buffer
+	if err := tbl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := decoded.Rows[0][0].(float64)
+	if !ok {
+		t.Fatalf("JSON cell is %T, want a number", decoded.Rows[0][0])
+	}
+	if got != v {
+		t.Errorf("JSON round-trip lost precision: %v != %v", got, v)
 	}
 }
 
@@ -177,9 +214,9 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var decoded struct {
-		ID      string     `json:"id"`
-		Columns []string   `json:"columns"`
-		Rows    [][]string `json:"rows"`
+		ID      string   `json:"id"`
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatal(err)
@@ -187,6 +224,20 @@ func TestWriteJSON(t *testing.T) {
 	if decoded.ID != "X" || len(decoded.Rows) != 1 || decoded.Rows[0][1] != "two" {
 		t.Errorf("decoded = %+v", decoded)
 	}
+}
+
+// cellFloat reads a numeric table cell regardless of its concrete type.
+func cellFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case string:
+		f, err := strconv.ParseFloat(x, 64)
+		return f, err == nil
+	}
+	return 0, false
 }
 
 // TestScorecardAllHold asserts every headline claim verifies at quick
@@ -197,8 +248,8 @@ func TestScorecardAllHold(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range tbl.Rows {
-		if r[2] != "true" {
-			t.Errorf("claim %q does not hold: %v", r[0], r)
+		if r[2] != true {
+			t.Errorf("claim %v does not hold: %v", r[0], r)
 		}
 	}
 }

@@ -5,10 +5,12 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/paths"
 	"repro/internal/rng"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -22,23 +24,34 @@ type trialStats struct {
 }
 
 // runTrials executes the protocol `trials` times with independent rng
-// streams split from src and aggregates the results. Trials run on all
-// available cores; determinism is preserved because every stream is split
-// from src before any goroutine starts and results are collected by index.
+// streams split from src and aggregates the results. Trials are striped
+// over a fixed pool of workers (one per core), each holding its own pooled
+// simulator engine so the hot path allocates nothing in steady state;
+// determinism is preserved because every stream is split from src before
+// any goroutine starts and results are collected by index.
 func runTrials(c *paths.Collection, cfg core.Config, trials int, src *rng.Source) (*trialStats, error) {
 	sources := src.SplitN(trials)
 	results := make([]*core.Result, trials)
 	errs := make([]error, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < trials; i++ {
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = core.Run(c, cfg, sources[i])
-		}(i)
+			eng := sim.NewEngine() // goroutine-local; never shared
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= trials {
+					return
+				}
+				results[i], errs[i] = core.RunWithEngine(c, cfg, sources[i], eng)
+			}
+		}()
 	}
 	wg.Wait()
 	ts := &trialStats{}

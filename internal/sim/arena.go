@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// arena pools trains and fragments across runs of one Engine. Objects are
+// bump-allocated per run and recycled wholesale on the next reset, so a
+// steady-state round allocates nothing. Each object is heap-allocated once
+// and its pointer stays valid for the Engine's lifetime; link and
+// wavelength slices keep their capacity across recycles.
+type arena struct {
+	trains    []*train
+	nextTrain int
+	frags     []*fragment
+	nextFrag  int
+}
+
+// reset recycles every object handed out since the previous reset.
+func (a *arena) reset() {
+	a.nextTrain = 0
+	a.nextFrag = 0
+}
+
+// newTrain returns a zeroed train whose links/waves buffers keep their
+// previously grown capacity (length 0).
+func (a *arena) newTrain() *train {
+	if a.nextTrain == len(a.trains) {
+		a.trains = append(a.trains, &train{})
+	}
+	tr := a.trains[a.nextTrain]
+	a.nextTrain++
+	links, waves := tr.links[:0], tr.waves[:0]
+	*tr = train{links: links, waves: waves}
+	return tr
+}
+
+// newFrag returns an initialized fragment.
+func (a *arena) newFrag(t *train, jMin, jMax, barrier, relUpTo int) *fragment {
+	if a.nextFrag == len(a.frags) {
+		a.frags = append(a.frags, &fragment{})
+	}
+	f := a.frags[a.nextFrag]
+	a.nextFrag++
+	*f = fragment{t: t, jMin: jMin, jMax: jMax, barrier: barrier, relUpTo: relUpTo}
+	return f
+}
+
+// appendPathLinks appends p's directed link IDs to dst, reusing dst's
+// capacity (the allocating equivalent is graph.Path.Links).
+func appendPathLinks(dst []graph.LinkID, g *graph.Graph, p graph.Path) []graph.LinkID {
+	for i := 0; i+1 < len(p); i++ {
+		id, ok := g.LinkBetween(p[i], p[i+1])
+		if !ok {
+			panic(fmt.Sprintf("sim: path uses missing link %d->%d", p[i], p[i+1]))
+		}
+		dst = append(dst, id)
+	}
+	return dst
+}

@@ -1,0 +1,75 @@
+package sim
+
+import "fmt"
+
+// calendar is the engine's time-bucketed spawn agenda: bucket t holds the
+// fragments whose train starts at step t. Buckets are indexed by absolute
+// step and recycled across runs (lengths reset, capacity kept), replacing
+// the step->fragments hash map plus linear key scan of the original
+// implementation with O(1) insertion and an O(gap) forward scan that only
+// runs when the network is idle.
+type calendar struct {
+	buckets [][]*fragment
+	pending int
+}
+
+// reset empties every bucket, keeping capacity for reuse.
+func (c *calendar) reset() {
+	for i := range c.buckets {
+		c.buckets[i] = c.buckets[i][:0]
+	}
+	c.pending = 0
+}
+
+// add schedules fragment f to activate at step t >= 0.
+func (c *calendar) add(t int, f *fragment) {
+	for len(c.buckets) <= t {
+		c.buckets = append(c.buckets, nil)
+	}
+	c.buckets[t] = append(c.buckets[t], f)
+	c.pending++
+}
+
+// takeInto appends the fragments spawning at step t to dst, empties the
+// bucket, and returns the extended slice.
+func (c *calendar) takeInto(t int, dst []*fragment) []*fragment {
+	if t < 0 || t >= len(c.buckets) || len(c.buckets[t]) == 0 {
+		return dst
+	}
+	fs := c.buckets[t]
+	dst = append(dst, fs...)
+	c.pending -= len(fs)
+	c.buckets[t] = fs[:0]
+	return dst
+}
+
+// next returns the smallest spawn step >= t, scanning forward from t.
+func (c *calendar) next(t int) (int, bool) {
+	if c.pending == 0 {
+		return 0, false
+	}
+	if t < 0 {
+		t = 0
+	}
+	for s := t; s < len(c.buckets); s++ {
+		if len(c.buckets[s]) > 0 {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// nextSpawnTime returns the smallest spawn step >= t, or t itself when
+// nothing is pending. Pending fragments with no spawn step >= t mean the
+// agenda is corrupted: the run would otherwise spin silently until the
+// MaxSteps bug guard fired with a misleading message, so that state is
+// reported as a distinct internal-inconsistency error immediately.
+func (c *calendar) nextSpawnTime(t int) (int, error) {
+	if c.pending == 0 {
+		return t, nil
+	}
+	if s, ok := c.next(t); ok {
+		return s, nil
+	}
+	return 0, fmt.Errorf("sim: internal inconsistency: %d pending spawn(s) but none scheduled at or after step %d", c.pending, t)
+}

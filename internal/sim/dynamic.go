@@ -157,14 +157,8 @@ func RunDynamic(g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Sour
 		retry = ExponentialBackoff{Base: 2 * maxLen}
 	}
 
-	e := &engine{
-		g:      g,
-		cfg:    cfg.Sim,
-		occ:    make(map[int64]occupant),
-		spawn:  make(map[int][]*fragment),
-		res:    &Result{},
-		nLinks: g.NumLinks(),
-	}
+	e := NewEngine()
+	e.begin(g, cfg.Sim, 0)
 	dres := &DynamicResult{Outcomes: make([]DynamicOutcome, len(reqs))}
 	for i := range dres.Outcomes {
 		dres.Outcomes[i] = DynamicOutcome{DeliveredAt: -1, Latency: -1}
@@ -185,20 +179,17 @@ func RunDynamic(g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Sour
 		r := &reqs[ri]
 		dres.Outcomes[ri].Attempts = a
 		outIdx := len(e.res.Outcomes)
-		e.res.Outcomes = append(e.res.Outcomes, Outcome{
-			DeliveredAt: -1, AckedAt: -1, CutLink: -1, CutTime: -1,
-		})
+		e.res.Outcomes = append(e.res.Outcomes, newOutcome())
 		attempts = append(attempts, attemptInfo{req: ri, attempt: a})
-		tr := &train{
-			id:         outIdx, // unique per attempt
-			outIdx:     outIdx,
-			links:      r.Path.Links(g),
-			start:      t,
-			length:     r.Length,
-			wavelength: src.Intn(cfg.Sim.Bandwidth),
-			rank:       src.Intn(1 << 30),
-			band:       MessageBand,
-		}
+		tr := e.arena.newTrain()
+		tr.id = outIdx // unique per attempt
+		tr.outIdx = outIdx
+		tr.links = appendPathLinks(tr.links, g, r.Path)
+		tr.start = t
+		tr.length = r.Length
+		tr.wavelength = src.Intn(cfg.Sim.Bandwidth)
+		tr.rank = src.Intn(1 << 30)
+		tr.band = MessageBand
 		e.addTrain(tr)
 		dres.TotalAttempts++
 		// Exact ack deadline: message done by t+k+L-2; ack (if any) by
@@ -223,7 +214,7 @@ func RunDynamic(g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Sour
 	}
 
 	t := 0
-	for steps := 0; len(launches) > 0 || pendingChecks > 0 || e.pending > 0 || len(e.active) > 0; steps++ {
+	for steps := 0; len(launches) > 0 || pendingChecks > 0 || e.cal.pending > 0 || len(e.active) > 0; steps++ {
 		if steps > maxSteps {
 			return nil, fmt.Errorf("sim: dynamic run exceeded %d steps (raise Sim.MaxSteps or lower load)", maxSteps)
 		}
@@ -241,7 +232,7 @@ func RunDynamic(g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Sour
 			for s := range deadlines {
 				consider(s)
 			}
-			for s := range e.spawn {
+			if s, ok := e.cal.next(t); ok {
 				consider(s)
 			}
 			if next > t {

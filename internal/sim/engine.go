@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/optical"
@@ -20,7 +20,7 @@ type train struct {
 	rank       int
 	band       Band
 	cut        bool  // lost at least one collision
-	waves      []int // per-link wavelength (conversion only); -1 = unset
+	waves      []int // per-link wavelength (conversion only); empty = fixed
 }
 
 // fragment is a maximal contiguous run of surviving flits of one train.
@@ -49,18 +49,44 @@ func (f *fragment) lo(t int) int { return t - f.t.start - f.jMax }
 // hi returns the head-edge link index at step t (may exceed limit; clip).
 func (f *fragment) hi(t int) int { return t - f.t.start - f.jMin }
 
-// engine holds the state of one simulation run.
-type engine struct {
-	g     *graph.Graph
-	cfg   Config
-	occ   map[int64]occupant
-	spawn map[int][]*fragment // step -> fragments whose train starts then
-	// pending counts fragments in spawn.
-	pending  int
+// Engine is a reusable simulator instance. All scratch state — the flat
+// occupancy table, the spawn calendar, the train/fragment arenas and the
+// per-step grouping buffers — persists across Run calls, so steady-state
+// rounds are allocation-free. The Trial-and-Failure protocol calls Run
+// once per round per trial; callers that loop (core.Run across rounds,
+// the experiment harness across trials) hold one Engine and reuse it.
+//
+// An Engine is not safe for concurrent use; give each goroutine its own.
+// The Result returned by Run is owned by the engine and remains valid
+// only until the next Run call on the same engine.
+type Engine struct {
+	g   *graph.Graph
+	cfg Config
+	// occ is the flat occupancy table indexed by the dense slot key
+	// (band*nLinks + link)*Bandwidth + wavelength; a nil fragment marks a
+	// free slot. occCount tracks the number of occupied slots so the
+	// per-step busy accounting needs no scan.
+	occ      []occupant
+	occCount int
+	cal      calendar
 	active   []*fragment
-	res      *Result
+	res      Result
 	nLinks   int
 	pendConv []convAttempt
+	entries  []entry // per-step conflict-group scratch, sorted by (key, id)
+	live     []entry // per-group scratch after headChild chain resolution
+	arena    arena
+	val      validator
+}
+
+// NewEngine returns an empty engine ready for its first Run.
+func NewEngine() *Engine { return &Engine{} }
+
+// entry is one fragment head entering a new link this step.
+type entry struct {
+	key int // occupancy slot key
+	f   *fragment
+	idx int
 }
 
 // convAttempt is an entrant that lost its conflict at a converting router
@@ -76,14 +102,14 @@ type occupant struct {
 	idx int // index into f.t.links
 }
 
-func (e *engine) key(band Band, link graph.LinkID, wavelength int) int64 {
-	return (int64(band)*int64(e.nLinks)+int64(link))*int64(e.cfg.Bandwidth) + int64(wavelength)
+func (e *Engine) key(band Band, link graph.LinkID, wavelength int) int {
+	return (int(band)*e.nLinks+int(link))*e.cfg.Bandwidth + wavelength
 }
 
 // waveAt returns the wavelength train tr uses on its link index i,
 // filling the conversion table with the carried wavelength on first use.
-func (e *engine) waveAt(tr *train, i int) int {
-	if tr.waves == nil {
+func (e *Engine) waveAt(tr *train, i int) int {
+	if len(tr.waves) == 0 {
 		return tr.wavelength
 	}
 	if tr.waves[i] < 0 {
@@ -97,40 +123,84 @@ func (e *engine) waveAt(tr *train, i int) int {
 }
 
 // fragKey is the occupancy key of fragment f's link index i.
-func (e *engine) fragKey(f *fragment, i int) int64 {
+func (e *Engine) fragKey(f *fragment, i int) int {
 	return e.key(f.t.band, f.t.links[i], e.waveAt(f.t, i))
+}
+
+// setOcc claims slot k for fragment f at link index idx (overwriting a
+// surrendered occupant, if any).
+func (e *Engine) setOcc(k int, f *fragment, idx int) {
+	if e.occ[k].f == nil {
+		e.occCount++
+	}
+	e.occ[k] = occupant{f: f, idx: idx}
+}
+
+// delOcc frees slot k if fragment f still owns it.
+func (e *Engine) delOcc(k int, f *fragment) {
+	if e.occ[k].f == f {
+		e.occ[k] = occupant{}
+		e.occCount--
+	}
+}
+
+// begin resets the engine for a new run on graph g under cfg, with room
+// for nOutcomes outcome slots.
+func (e *Engine) begin(g *graph.Graph, cfg Config, nOutcomes int) {
+	e.g, e.cfg = g, cfg
+	e.nLinks = g.NumLinks()
+	need := 2 * e.nLinks * cfg.Bandwidth // message band + ack band
+	if cap(e.occ) < need {
+		e.occ = make([]occupant, need)
+	} else {
+		e.occ = e.occ[:need]
+		clear(e.occ)
+	}
+	e.occCount = 0
+	e.cal.reset()
+	e.active = e.active[:0]
+	e.pendConv = e.pendConv[:0]
+	e.entries = e.entries[:0]
+	e.live = e.live[:0]
+	e.arena.reset()
+	outs, colls := e.res.Outcomes[:0], e.res.Collisions[:0]
+	e.res = Result{Outcomes: outs, Collisions: colls}
+	for i := 0; i < nOutcomes; i++ {
+		e.res.Outcomes = append(e.res.Outcomes, newOutcome())
+	}
+}
+
+// newOutcome is the not-yet-determined outcome sentinel.
+func newOutcome() Outcome {
+	return Outcome{
+		DeliveredAt: -1, AckedAt: -1,
+		CutLink: -1, CutTime: -1,
+		AckCutLink: -1, AckCutTime: -1,
+	}
 }
 
 // Run simulates one round: every worm is launched at its delay and the
 // round proceeds until all activity has drained. It returns an error for
 // invalid input or if the safety step bound is exceeded (which indicates a
-// bug, not a legitimate outcome).
-func Run(g *graph.Graph, worms []Worm, cfg Config) (*Result, error) {
-	if err := validate(g, worms, cfg); err != nil {
+// bug, not a legitimate outcome). The returned Result is owned by the
+// engine and is only valid until the next Run call.
+func (e *Engine) Run(g *graph.Graph, worms []Worm, cfg Config) (*Result, error) {
+	if err := e.val.check(g, worms, cfg); err != nil {
 		return nil, err
 	}
-	e := &engine{
-		g:      g,
-		cfg:    cfg,
-		occ:    make(map[int64]occupant),
-		spawn:  make(map[int][]*fragment),
-		res:    &Result{Outcomes: make([]Outcome, len(worms))},
-		nLinks: g.NumLinks(),
-	}
+	e.begin(g, cfg, len(worms))
 	maxEnd := 0
 	for i := range worms {
 		w := &worms[i]
-		e.res.Outcomes[i] = Outcome{DeliveredAt: -1, AckedAt: -1, CutLink: -1, CutTime: -1}
-		tr := &train{
-			id:         w.ID,
-			outIdx:     i,
-			links:      w.Path.Links(g),
-			start:      w.Delay,
-			length:     w.Length,
-			wavelength: w.Wavelength,
-			rank:       w.Rank,
-			band:       MessageBand,
-		}
+		tr := e.arena.newTrain()
+		tr.id = w.ID
+		tr.outIdx = i
+		tr.links = appendPathLinks(tr.links, g, w.Path)
+		tr.start = w.Delay
+		tr.length = w.Length
+		tr.wavelength = w.Wavelength
+		tr.rank = w.Rank
+		tr.band = MessageBand
 		e.addTrain(tr)
 		end := w.Delay + len(tr.links) + w.Length + 2
 		if cfg.AckLength > 0 {
@@ -145,15 +215,20 @@ func Run(g *graph.Graph, worms []Worm, cfg Config) (*Result, error) {
 		maxSteps = maxEnd + 4
 	}
 
-	t := e.nextSpawnTime(0)
+	t, err := e.cal.nextSpawnTime(0)
+	if err != nil {
+		return nil, err
+	}
 	steps := 0
-	for e.pending > 0 || len(e.active) > 0 {
+	for e.cal.pending > 0 || len(e.active) > 0 {
 		if steps++; steps > maxSteps {
 			return nil, fmt.Errorf("sim: exceeded %d steps (internal bug guard)", maxSteps)
 		}
 		if len(e.active) == 0 {
 			// Jump over idle time to the next spawn.
-			t = e.nextSpawnTime(t)
+			if t, err = e.cal.nextSpawnTime(t); err != nil {
+				return nil, err
+			}
 		}
 		e.step(t)
 		if cfg.CheckInvariants {
@@ -171,40 +246,28 @@ func Run(g *graph.Graph, worms []Worm, cfg Config) (*Result, error) {
 			e.res.AckedCount++
 		}
 	}
-	return e.res, nil
+	return &e.res, nil
 }
 
-func (e *engine) addTrain(tr *train) {
+// Run simulates one round with a fresh engine; the result is independent
+// of any pooled state. Loops should prefer NewEngine plus Engine.Run.
+func Run(g *graph.Graph, worms []Worm, cfg Config) (*Result, error) {
+	return NewEngine().Run(g, worms, cfg)
+}
+
+func (e *Engine) addTrain(tr *train) {
+	tr.waves = tr.waves[:0]
 	if e.cfg.Conversion != nil {
-		tr.waves = make([]int, len(tr.links))
-		for i := range tr.waves {
-			tr.waves[i] = -1
+		for range tr.links {
+			tr.waves = append(tr.waves, -1)
 		}
 	}
-	f := &fragment{t: tr, jMin: 0, jMax: tr.length - 1, barrier: len(tr.links)}
-	e.spawn[tr.start] = append(e.spawn[tr.start], f)
-	e.pending++
-}
-
-// nextSpawnTime returns the smallest spawn step >= t, or t when none.
-func (e *engine) nextSpawnTime(t int) int {
-	if e.pending == 0 {
-		return t
-	}
-	best := -1
-	for s := range e.spawn {
-		if s >= t && (best < 0 || s < best) {
-			best = s
-		}
-	}
-	if best < 0 {
-		return t
-	}
-	return best
+	f := e.arena.newFrag(tr, 0, tr.length-1, len(tr.links), 0)
+	e.cal.add(tr.start, f)
 }
 
 // step advances the simulation by one time step.
-func (e *engine) step(t int) {
+func (e *Engine) step(t int) {
 	// 1. Releases: free links the tails have passed; detect completion.
 	// This runs before activation so that an acknowledgement spawned by a
 	// delivery completing at step t-1 (ack start = t) is activated below.
@@ -216,19 +279,13 @@ func (e *engine) step(t int) {
 	}
 
 	// 2. Activate trains spawning now.
-	if fs, ok := e.spawn[t]; ok {
-		e.active = append(e.active, fs...)
-		e.pending -= len(fs)
-		delete(e.spawn, t)
-	}
+	e.active = e.cal.takeInto(t, e.active)
 
 	// 3. Collect entries: each live fragment whose head enters a new link.
-	type entry struct {
-		f   *fragment
-		idx int
-	}
-	groups := make(map[int64][]entry)
-	var order []int64 // deterministic resolution order
+	// Sorting by (slot key, worm ID) yields the conflict groups in
+	// deterministic key order with members in ID order, with no per-step
+	// map or closure allocation.
+	e.entries = e.entries[:0]
 	for _, f := range e.active {
 		if f.gone {
 			continue
@@ -237,20 +294,29 @@ func (e *engine) step(t int) {
 		if i < 0 || i > f.limit() {
 			continue
 		}
-		k := e.fragKey(f, i)
-		if _, seen := groups[k]; !seen {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], entry{f: f, idx: i})
+		e.entries = append(e.entries, entry{key: e.fragKey(f, i), f: f, idx: i})
 	}
-	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	slices.SortFunc(e.entries, func(a, b entry) int {
+		if a.key != b.key {
+			return a.key - b.key
+		}
+		return a.f.t.id - b.f.t.id
+	})
 
 	// 4. Resolve each group.
-	for _, k := range order {
-		raw := groups[k]
+	for gi := 0; gi < len(e.entries); {
+		k := e.entries[gi].key
+		gj := gi + 1
+		for gj < len(e.entries) && e.entries[gj].key == k {
+			gj++
+		}
+		raw := e.entries[gi:gj]
+		gi = gj
 		// Follow headChild chains: a fragment split earlier this step
 		// hands its pending entry to the child holding the old head flit.
-		live := raw[:0]
+		// Chained children keep the parent's train, so the ID order of raw
+		// is preserved.
+		e.live = e.live[:0]
 		for _, en := range raw {
 			f := en.f
 			for f != nil && f.gone {
@@ -264,15 +330,15 @@ func (e *engine) step(t int) {
 			if en.idx > f.limit() {
 				continue
 			}
-			live = append(live, entry{f: f, idx: en.idx})
+			e.live = append(e.live, entry{key: k, f: f, idx: en.idx})
 		}
+		live := e.live
 		if len(live) == 0 {
 			continue
 		}
-		// Deterministic order inside the group.
-		sort.Slice(live, func(a, b int) bool { return live[a].f.t.id < live[b].f.t.id })
 
-		inc, hasInc := e.occ[k]
+		inc := e.occ[k]
+		hasInc := inc.f != nil
 		switch e.cfg.Rule {
 		case optical.ServeFirst:
 			if hasInc {
@@ -282,7 +348,7 @@ func (e *engine) step(t int) {
 				continue
 			}
 			if len(live) == 1 {
-				e.occ[k] = occupant{f: live[0].f, idx: live[0].idx}
+				e.setOcc(k, live[0].f, live[0].idx)
 				continue
 			}
 			switch e.cfg.Tie {
@@ -293,7 +359,7 @@ func (e *engine) step(t int) {
 				}
 			case optical.TieArbitraryWinner:
 				win := live[0] // smallest worm ID after sorting
-				e.occ[k] = occupant{f: win.f, idx: win.idx}
+				e.setOcc(k, win.f, win.idx)
 				for _, en := range live[1:] {
 					e.loseEntrant(en.f, en.idx, t, win.f.t)
 				}
@@ -315,7 +381,7 @@ func (e *engine) step(t int) {
 			if hasInc {
 				e.cutIncumbent(inc.f, inc.idx, t, winner.f.t)
 			}
-			e.occ[k] = occupant{f: winner.f, idx: winner.idx}
+			e.setOcc(k, winner.f, winner.idx)
 			for x, en := range live {
 				if x != best {
 					e.loseEntrant(en.f, en.idx, t, winner.f.t)
@@ -340,9 +406,9 @@ func (e *engine) step(t int) {
 		for d := 1; d < e.cfg.Bandwidth; d++ {
 			w := (cur + d) % e.cfg.Bandwidth
 			k := e.key(f.t.band, f.t.links[ca.idx], w)
-			if _, busy := e.occ[k]; !busy {
+			if e.occ[k].f == nil {
 				f.t.waves[ca.idx] = w
-				e.occ[k] = occupant{f: f, idx: ca.idx}
+				e.setOcc(k, f, ca.idx)
 				converted = true
 				break
 			}
@@ -361,7 +427,7 @@ func (e *engine) step(t int) {
 		}
 	}
 	e.active = liveActive
-	e.res.BusySlotSteps += len(e.occ)
+	e.res.BusySlotSteps += e.occCount
 	// Every executed step either activated or advanced a fragment (the run
 	// loop jumps over idle gaps), so t is the last meaningful step so far.
 	e.res.Makespan = t
@@ -369,7 +435,7 @@ func (e *engine) step(t int) {
 
 // release frees links the fragment's tail has passed, and completes the
 // fragment when everything has drained or been delivered.
-func (e *engine) release(f *fragment, t int) {
+func (e *Engine) release(f *fragment, t int) {
 	limit := f.limit()
 	lo := f.lo(t)
 	upTo := lo
@@ -377,10 +443,7 @@ func (e *engine) release(f *fragment, t int) {
 		upTo = limit + 1
 	}
 	for i := f.relUpTo; i < upTo; i++ {
-		k := e.fragKey(f, i)
-		if oc, ok := e.occ[k]; ok && oc.f == f {
-			delete(e.occ, k)
-		}
+		e.delOcc(e.fragKey(f, i), f)
 	}
 	if upTo > f.relUpTo {
 		f.relUpTo = upTo
@@ -393,7 +456,7 @@ func (e *engine) release(f *fragment, t int) {
 }
 
 // complete handles a fragment whose flits have all drained or exited.
-func (e *engine) complete(f *fragment, t int) {
+func (e *Engine) complete(f *fragment, t int) {
 	tr := f.t
 	// A full delivery needs the intact original fragment of an uncut train.
 	if tr.cut || f.jMin != 0 || f.jMax != tr.length-1 || f.barrier != len(tr.links) {
@@ -415,28 +478,25 @@ func (e *engine) complete(f *fragment, t int) {
 		return
 	}
 	// Spawn the acknowledgement on the reversed links in the ack band.
-	rev := make([]graph.LinkID, len(tr.links))
-	for i, id := range tr.links {
-		rev[len(tr.links)-1-i] = e.g.Reverse(id)
+	ack := e.arena.newTrain()
+	ack.id = tr.id
+	ack.outIdx = tr.outIdx
+	ack.isAck = true
+	for i := len(tr.links) - 1; i >= 0; i-- {
+		ack.links = append(ack.links, e.g.Reverse(tr.links[i]))
 	}
-	ack := &train{
-		id:         tr.id,
-		outIdx:     tr.outIdx,
-		isAck:      true,
-		links:      rev,
-		start:      deliveredAt + 1,
-		length:     e.cfg.AckLength,
-		wavelength: e.waveAt(tr, len(tr.links)-1),
-		rank:       tr.rank,
-		band:       AckBand,
-	}
+	ack.start = deliveredAt + 1
+	ack.length = e.cfg.AckLength
+	ack.wavelength = e.waveAt(tr, len(tr.links)-1)
+	ack.rank = tr.rank
+	ack.band = AckBand
 	e.addTrain(ack)
 }
 
 // loseEntrant handles an entrant that lost its conflict: it is deferred
 // for a wavelength-conversion attempt when the router at the link's tail
 // supports conversion, and cut otherwise.
-func (e *engine) loseEntrant(f *fragment, idx, t int, blocker *train) {
+func (e *Engine) loseEntrant(f *fragment, idx, t int, blocker *train) {
 	if e.cfg.Conversion != nil && e.cfg.Bandwidth > 1 &&
 		e.cfg.Conversion(e.g.Link(f.t.links[idx]).From) {
 		e.pendConv = append(e.pendConv, convAttempt{f: f, idx: idx, blocker: blocker})
@@ -447,7 +507,7 @@ func (e *engine) loseEntrant(f *fragment, idx, t int, blocker *train) {
 
 // cutEntrant handles a fragment whose head flit was eliminated while
 // entering links[idx].
-func (e *engine) cutEntrant(f *fragment, idx, t int, blocker *train) {
+func (e *Engine) cutEntrant(f *fragment, idx, t int, blocker *train) {
 	e.recordCut(f, idx, t, blocker)
 	jCut := f.jMin // the entering flit is the fragment's head
 	e.split(f, idx, jCut, t, false)
@@ -455,18 +515,23 @@ func (e *engine) cutEntrant(f *fragment, idx, t int, blocker *train) {
 
 // cutIncumbent handles a fragment preempted (Priority rule) at links[idx],
 // which it currently occupies.
-func (e *engine) cutIncumbent(f *fragment, idx, t int, blocker *train) {
+func (e *Engine) cutIncumbent(f *fragment, idx, t int, blocker *train) {
 	e.recordCut(f, idx, t, blocker)
 	jCut := t - f.t.start - idx
 	e.split(f, idx, jCut, t, true)
 }
 
-func (e *engine) recordCut(f *fragment, idx, t int, blocker *train) {
+func (e *Engine) recordCut(f *fragment, idx, t int, blocker *train) {
 	tr := f.t
 	tr.cut = true
 	e.res.CollisionCount++
 	out := &e.res.Outcomes[tr.outIdx]
-	if !tr.isAck && out.CutTime < 0 {
+	if tr.isAck {
+		if out.AckCutTime < 0 {
+			out.AckCutLink = idx
+			out.AckCutTime = t
+		}
+	} else if out.CutTime < 0 {
 		out.CutLink = idx
 		out.CutTime = t
 	}
@@ -486,7 +551,7 @@ func (e *engine) recordCut(f *fragment, idx, t int, blocker *train) {
 // split applies a cut at path index cutIdx destroying flit jCut. When
 // occupiedCut is true the fragment currently occupies links[cutIdx] (a
 // preempted incumbent); its occupancy there is surrendered to the caller.
-func (e *engine) split(f *fragment, cutIdx, jCut, t int, occupiedCut bool) {
+func (e *Engine) split(f *fragment, cutIdx, jCut, t int, occupiedCut bool) {
 	f.gone = true
 	if e.cfg.Wreckage == Vanish {
 		// Drop all occupancy instantly.
@@ -499,10 +564,7 @@ func (e *engine) split(f *fragment, cutIdx, jCut, t int, occupiedCut bool) {
 			if occupiedCut && i == cutIdx {
 				continue // the winner takes this slot
 			}
-			k := e.fragKey(f, i)
-			if oc, ok := e.occ[k]; ok && oc.f == f {
-				delete(e.occ, k)
-			}
+			e.delOcc(e.fragKey(f, i), f)
 		}
 		f.headChild = nil
 		return
@@ -510,13 +572,7 @@ func (e *engine) split(f *fragment, cutIdx, jCut, t int, occupiedCut bool) {
 
 	// Drain policy: ghost ahead of the cut, remnant behind it.
 	if jCut > f.jMin {
-		ghost := &fragment{
-			t:       f.t,
-			jMin:    f.jMin,
-			jMax:    jCut - 1,
-			barrier: f.barrier,
-			relUpTo: cutIdx + 1,
-		}
+		ghost := e.arena.newFrag(f.t, f.jMin, jCut-1, f.barrier, cutIdx+1)
 		if ghost.relUpTo < f.relUpTo {
 			ghost.relUpTo = f.relUpTo
 		}
@@ -533,13 +589,7 @@ func (e *engine) split(f *fragment, cutIdx, jCut, t int, occupiedCut bool) {
 		f.headChild = nil
 	}
 	if jCut < f.jMax {
-		rem := &fragment{
-			t:       f.t,
-			jMin:    jCut + 1,
-			jMax:    f.jMax,
-			barrier: cutIdx,
-			relUpTo: f.relUpTo,
-		}
+		rem := e.arena.newFrag(f.t, jCut+1, f.jMax, cutIdx, f.relUpTo)
 		if rem.lo(t) <= rem.limit() {
 			e.reassign(f, rem, maxInt(rem.relUpTo, maxInt(rem.lo(t), 0)), rem.limit())
 			e.active = append(e.active, rem)
@@ -553,21 +603,18 @@ func (e *engine) split(f *fragment, cutIdx, jCut, t int, occupiedCut bool) {
 		hi = limit
 	}
 	for i := f.relUpTo; i <= hi; i++ {
-		k := e.fragKey(f, i)
-		if oc, ok := e.occ[k]; ok && oc.f == f {
-			delete(e.occ, k)
-		}
+		e.delOcc(e.fragKey(f, i), f)
 	}
 }
 
 // reassign moves occupancy entries for links [from, to] from old to nw.
-func (e *engine) reassign(old, nw *fragment, from, to int) {
+func (e *Engine) reassign(old, nw *fragment, from, to int) {
 	if from < 0 {
 		from = 0
 	}
 	for i := from; i <= to; i++ {
 		k := e.fragKey(old, i)
-		if oc, ok := e.occ[k]; ok && oc.f == old {
+		if e.occ[k].f == old {
 			e.occ[k] = occupant{f: nw, idx: i}
 		}
 	}
@@ -589,9 +636,14 @@ func maxInt(a, b int) int {
 
 // checkInvariants validates the occupancy table against the fragment
 // windows after a step. Only used in tests.
-func (e *engine) checkInvariants(t int) error {
+func (e *Engine) checkInvariants(t int) error {
+	count := 0
 	for k, oc := range e.occ {
 		f := oc.f
+		if f == nil {
+			continue
+		}
+		count++
 		if f.gone {
 			return fmt.Errorf("sim: step %d: occupancy points at a gone fragment (worm %d)", t, f.t.id)
 		}
@@ -601,10 +653,12 @@ func (e *engine) checkInvariants(t int) error {
 			return fmt.Errorf("sim: step %d: worm %d occupies link index %d outside window [%d,%d]",
 				t, f.t.id, oc.idx, lo, hi)
 		}
-		want := e.fragKey(f, oc.idx)
-		if want != k {
+		if e.fragKey(f, oc.idx) != k {
 			return fmt.Errorf("sim: step %d: occupancy key mismatch for worm %d", t, f.t.id)
 		}
+	}
+	if count != e.occCount {
+		return fmt.Errorf("sim: step %d: occupied-slot count %d != tracked %d", t, count, e.occCount)
 	}
 	// Fragments of one train must not overlap in flit ranges.
 	byTrain := make(map[*train][]*fragment)

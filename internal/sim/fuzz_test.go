@@ -10,12 +10,19 @@ import (
 
 // FuzzEngineVsReference decodes arbitrary bytes into a routing scenario
 // and asserts the fragment engine and the per-flit reference simulator
-// produce identical outcomes. `go test` runs the seed corpus; `go test
+// produce identical results. `go test` runs the seed corpus; `go test
 // -fuzz=FuzzEngineVsReference ./internal/sim` explores further.
 func FuzzEngineVsReference(f *testing.F) {
 	f.Add([]byte{1, 0, 3, 1, 0, 2, 5, 1})
 	f.Add([]byte{0, 2, 0, 0, 0, 0, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9})
 	f.Add([]byte{3, 1, 7, 2, 9, 0, 4, 4, 4, 4, 1, 2, 3})
+	// Conversion enabled (bit 6), B=2..4, both rules.
+	f.Add([]byte{1, 0x41, 3, 1, 0, 2, 5, 1, 9, 9, 9, 9})
+	f.Add([]byte{2, 0x45, 0, 0, 0, 0, 1, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0, 0x67, 7, 2, 9, 0, 4, 4, 4, 4, 1, 2, 3, 8, 8})
+	// Priority + Drain with acks (bits 2 and 5).
+	f.Add([]byte{1, 0x24, 5, 1, 3, 3, 2, 2, 7, 0, 1, 6})
+	f.Add([]byte{2, 0x2c, 5, 1, 3, 3, 2, 2, 7, 0, 1, 6, 0xff, 0x10})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 4 {
 			return
@@ -40,10 +47,19 @@ func FuzzEngineVsReference(f *testing.F) {
 					i, fast.Outcomes[i], ref.Outcomes[i], worms[i])
 			}
 		}
+		if fast.CollisionCount != ref.CollisionCount ||
+			fast.Makespan != ref.Makespan ||
+			fast.BusySlotSteps != ref.BusySlotSteps {
+			t.Fatalf("aggregate disagreement: engine coll=%d makespan=%d busy=%d vs reference coll=%d makespan=%d busy=%d",
+				fast.CollisionCount, fast.Makespan, fast.BusySlotSteps,
+				ref.CollisionCount, ref.Makespan, ref.BusySlotSteps)
+		}
 	})
 }
 
 // decodeScenario deterministically maps fuzz bytes to a small scenario.
+// Config byte layout: bits 0-1 bandwidth-1, bit 2 rule, bit 3 wreckage,
+// bit 4 tie, bit 5 ack length, bit 6 wavelength conversion.
 func decodeScenario(data []byte) (*graph.Graph, []Worm, Config) {
 	next := func() byte {
 		if len(data) == 0 {
@@ -61,13 +77,13 @@ func decodeScenario(data []byte) (*graph.Graph, []Worm, Config) {
 	g := graphs[int(next())%len(graphs)]
 	cfgByte := next()
 	cfg := Config{
-		Bandwidth: 1 + int(cfgByte&1),
-		Rule:      optical.Rule(int(cfgByte>>1) & 1),
-		Wreckage:  WreckagePolicy(int(cfgByte>>2) & 1),
-		Tie:       optical.TiePolicy(int(cfgByte>>3) & 1),
-		AckLength: int(cfgByte>>4) & 1,
+		Bandwidth: 1 + int(cfgByte&3),
+		Rule:      optical.Rule(int(cfgByte>>2) & 1),
+		Wreckage:  WreckagePolicy(int(cfgByte>>3) & 1),
+		Tie:       optical.TiePolicy(int(cfgByte>>4) & 1),
+		AckLength: int(cfgByte>>5) & 1,
 	}
-	if cfgByte>>5&1 == 1 {
+	if cfgByte>>6&1 == 1 {
 		cfg.Conversion = FullConversion
 	}
 	n := g.NumNodes()

@@ -47,22 +47,28 @@ func TestStressInvariants(t *testing.T) {
 		pol  WreckagePolicy
 		tie  optical.TiePolicy
 		ack  int
+		conv func(graph.NodeID) bool
 	}{
-		{optical.ServeFirst, Drain, optical.TieEliminateAll, 0},
-		{optical.ServeFirst, Drain, optical.TieArbitraryWinner, 1},
-		{optical.ServeFirst, Vanish, optical.TieEliminateAll, 2},
-		{optical.Priority, Drain, optical.TieEliminateAll, 1},
-		{optical.Priority, Vanish, optical.TieEliminateAll, 0},
+		{optical.ServeFirst, Drain, optical.TieEliminateAll, 0, nil},
+		{optical.ServeFirst, Drain, optical.TieArbitraryWinner, 1, nil},
+		{optical.ServeFirst, Vanish, optical.TieEliminateAll, 2, nil},
+		{optical.Priority, Drain, optical.TieEliminateAll, 1, nil},
+		{optical.Priority, Vanish, optical.TieEliminateAll, 0, nil},
+		{optical.ServeFirst, Drain, optical.TieEliminateAll, 1, FullConversion},
+		{optical.ServeFirst, Vanish, optical.TieArbitraryWinner, 0, FullConversion},
+		{optical.Priority, Drain, optical.TieEliminateAll, 2, FullConversion},
 	}
-	for trial := 0; trial < 60; trial++ {
+	eng := NewEngine() // reused across trials, like the protocol does
+	for trial := 0; trial < 96; trial++ {
 		src := rng.New(uint64(1000 + trial))
 		combo := combos[trial%len(combos)]
 		worms := randomWorms(g, src, 30, 4, 8, 2)
-		res, err := Run(g, worms, Config{
+		res, err := eng.Run(g, worms, Config{
 			Bandwidth:        2,
 			Rule:             combo.rule,
 			Tie:              combo.tie,
 			Wreckage:         combo.pol,
+			Conversion:       combo.conv,
 			AckLength:        combo.ack,
 			RecordCollisions: true,
 			CheckInvariants:  true,

@@ -44,7 +44,7 @@ func runReference(g *graph.Graph, worms []Worm, cfg Config, tl *Timeline) (*Resu
 	maxEnd := 0
 	for i := range worms {
 		w := &worms[i]
-		r.res.Outcomes[i] = Outcome{DeliveredAt: -1, AckedAt: -1, CutLink: -1, CutTime: -1}
+		r.res.Outcomes[i] = newOutcome()
 		r.spawn(&refTrain{
 			id:         w.ID,
 			outIdx:     i,
@@ -349,6 +349,7 @@ func (r *refEngine) step(t int) {
 		}
 	}
 	r.live = stillLive
+	r.res.BusySlotSteps += len(r.prev)
 	r.res.Makespan = t
 }
 
@@ -460,7 +461,12 @@ func (r *refEngine) cut(en refOcc, t int, blocker *refTrain) {
 	tr.cut = true
 	r.res.CollisionCount++
 	out := &r.res.Outcomes[tr.outIdx]
-	if !tr.isAck && out.CutTime < 0 {
+	if tr.isAck {
+		if out.AckCutTime < 0 {
+			out.AckCutLink = e
+			out.AckCutTime = t
+		}
+	} else if out.CutTime < 0 {
 		out.CutLink = e
 		out.CutTime = t
 	}

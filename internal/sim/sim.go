@@ -137,8 +137,17 @@ type Outcome struct {
 	Acked       bool // the source received the acknowledgement
 	DeliveredAt int  // completion step; -1 if not delivered
 	AckedAt     int  // ack completion step; -1 if not acked
-	CutLink     int  // path link index of the first cut; -1 if never cut
-	CutTime     int  // step of the first cut; -1 if never cut
+	// CutLink and CutTime record the first cut of the MESSAGE worm only;
+	// -1 if the message was never cut. A delivered worm whose
+	// acknowledgement was destroyed keeps CutTime == -1.
+	CutLink int // message path link index of the first cut
+	CutTime int // step of the first message cut
+	// AckCutLink and AckCutTime record the first cut of the worm's
+	// acknowledgement train (an index into the REVERSED ack path); -1 if
+	// the ack was never cut. A round with Delivered && !Acked &&
+	// AckCutTime >= 0 lost the delivery notice to ack-band contention.
+	AckCutLink int
+	AckCutTime int
 }
 
 // Result is the full account of one simulated round.
@@ -175,23 +184,41 @@ func (r *Result) Utilization(links, bandwidth int) float64 {
 // Delivered reports whether worm index i was fully delivered.
 func (r *Result) Delivered(i int) bool { return r.Outcomes[i].Delivered }
 
-// validate checks the configuration and worm specs.
-func validate(g *graph.Graph, worms []Worm, cfg Config) error {
+// validator holds the scratch the worm-spec checks need. Pooling one on an
+// Engine makes steady-state validation allocation-free: the ID set keeps
+// its buckets across clear(), and the per-link stamp array replaces the
+// per-worm distinct-link map.
+type validator struct {
+	ids  map[int]bool
+	mark []int // per-link generation stamp
+	gen  int
+}
+
+func (v *validator) check(g *graph.Graph, worms []Worm, cfg Config) error {
 	if cfg.Bandwidth < 1 {
 		return fmt.Errorf("sim: bandwidth %d < 1", cfg.Bandwidth)
 	}
 	if cfg.AckLength < 0 {
 		return fmt.Errorf("sim: negative ack length %d", cfg.AckLength)
 	}
-	seen := make(map[int]bool, len(worms))
-	for i, w := range worms {
+	if v.ids == nil {
+		v.ids = make(map[int]bool, len(worms))
+	} else {
+		clear(v.ids)
+	}
+	if len(v.mark) < g.NumLinks() {
+		v.mark = make([]int, g.NumLinks())
+		v.gen = 0
+	}
+	for i := range worms {
+		w := &worms[i]
 		if w.ID < 0 {
 			return fmt.Errorf("sim: worm %d has negative ID %d", i, w.ID)
 		}
-		if seen[w.ID] {
+		if v.ids[w.ID] {
 			return fmt.Errorf("sim: duplicate worm ID %d", w.ID)
 		}
-		seen[w.ID] = true
+		v.ids[w.ID] = true
 		if err := w.Path.Validate(g); err != nil {
 			return fmt.Errorf("sim: worm %d: %w", w.ID, err)
 		}
@@ -200,13 +227,15 @@ func validate(g *graph.Graph, worms []Worm, cfg Config) error {
 		}
 		// A worm occupies a contiguous run of DISTINCT links (Section 1.1);
 		// a path revisiting a directed link would make the worm collide
-		// with itself, which the model has no physics for.
-		usedLinks := make(map[graph.LinkID]bool, w.Path.Len())
-		for _, id := range w.Path.Links(g) {
-			if usedLinks[id] {
+		// with itself, which the model has no physics for. Validate above
+		// guarantees every step resolves to a link.
+		v.gen++
+		for j := 0; j+1 < len(w.Path); j++ {
+			id, _ := g.LinkBetween(w.Path[j], w.Path[j+1])
+			if v.mark[id] == v.gen {
 				return fmt.Errorf("sim: worm %d revisits a directed link", w.ID)
 			}
-			usedLinks[id] = true
+			v.mark[id] = v.gen
 		}
 		if w.Length < 1 {
 			return fmt.Errorf("sim: worm %d has length %d < 1", w.ID, w.Length)
@@ -219,4 +248,10 @@ func validate(g *graph.Graph, worms []Worm, cfg Config) error {
 		}
 	}
 	return nil
+}
+
+// validate checks the configuration and worm specs with one-shot scratch.
+func validate(g *graph.Graph, worms []Worm, cfg Config) error {
+	var v validator
+	return v.check(g, worms, cfg)
 }
