@@ -104,21 +104,64 @@ func BenchmarkSimRound(b *testing.B) {
 
 // BenchmarkEngineSteadyState measures the same round on a reused Engine —
 // the protocol's steady state, where buffers are warm and the hot path
-// should allocate nothing. Compare against BenchmarkEngineFresh with
+// should allocate nothing. The probe=off variant is the baseline (and must
+// stay at 0 allocs/op, see TestSteadyStateAllocFree); probe=on runs the
+// same workload with a warmed telemetry Collector attached, bounding the
+// full observability overhead. Compare against BenchmarkEngineFresh with
 //
 //	go test -bench BenchmarkEngine -benchmem .
 func BenchmarkEngineSteadyState(b *testing.B) {
-	g, worms, cfg := simRoundWorkload(b, 16)
-	eng := sim.NewEngine()
-	if _, err := eng.Run(g, worms, cfg); err != nil { // warm the pools
-		b.Fatal(err)
+	for _, probe := range []string{"off", "on"} {
+		b.Run("probe="+probe, func(b *testing.B) {
+			g, worms, cfg := simRoundWorkload(b, 16)
+			if probe == "on" {
+				cfg.Probe = optnet.NewCollector()
+			}
+			eng := sim.NewEngine()
+			if _, err := eng.Run(g, worms, cfg); err != nil { // warm the pools
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(g, worms, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(g, worms, cfg); err != nil {
-			b.Fatal(err)
-		}
+}
+
+// TestSteadyStateAllocFree pins the zero-overhead contract of the probe
+// seam: a warm engine with no probe attached performs zero allocations per
+// round, and attaching a warmed Collector keeps it that way (the enabled
+// path only adds counter arithmetic).
+func TestSteadyStateAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		probe *optnet.Collector
+	}{
+		{"probe=off", nil},
+		{"probe=on", optnet.NewCollector()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, worms, cfg := simRoundWorkload(t, 8)
+			if tc.probe != nil {
+				cfg.Probe = tc.probe
+			}
+			eng := sim.NewEngine()
+			if _, err := eng.Run(g, worms, cfg); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(10, func() {
+				if _, err := eng.Run(g, worms, cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("steady-state round allocates %v allocs/op, want 0", avg)
+			}
+		})
 	}
 }
 
@@ -155,12 +198,15 @@ func TestEmitBenchTrajectory(t *testing.T) {
 	}
 	var points []point
 	for _, side := range []int{8, 16, 24} {
-		for _, mode := range []string{"steady", "fresh"} {
+		for _, mode := range []string{"steady", "fresh", "steady-probe"} {
 			side, mode := side, mode
 			r := testing.Benchmark(func(b *testing.B) {
 				g, worms, cfg := simRoundWorkload(b, side)
+				if mode == "steady-probe" {
+					cfg.Probe = optnet.NewCollector()
+				}
 				eng := sim.NewEngine()
-				if mode == "steady" {
+				if mode != "fresh" {
 					if _, err := eng.Run(g, worms, cfg); err != nil {
 						b.Fatal(err)
 					}

@@ -8,14 +8,20 @@
 //	experiments -run E5             # one experiment
 //	experiments -run E5 -quick      # reduced ladder (seconds)
 //	experiments -list               # show what exists
+//
+// With -metrics-addr the process also serves live telemetry while the
+// experiments run: Prometheus text format on /metrics and a JSON dump on
+// /snapshot, aggregated across every simulated round so far.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +33,20 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "master random seed")
 		trials = flag.Int("trials", 0, "Monte-Carlo trials per configuration (0 = default)")
 		asJSON = flag.Bool("json", false, "emit tables as JSON instead of text")
+		maddr  = flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics and /snapshot)")
 	)
 	flag.Parse()
+
+	if *maddr != "" {
+		live := telemetry.NewLive()
+		experiments.SetLive(live)
+		exp := telemetry.NewExporter(live.Snapshot)
+		go func() {
+			if err := exp.ListenAndServe(*maddr); err != nil {
+				log.Printf("experiments: metrics server: %v", err)
+			}
+		}()
+	}
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Trials: *trials}
 	switch {

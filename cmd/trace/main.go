@@ -6,6 +6,7 @@
 // Usage:
 //
 //	trace -topo ring -size 8 -worms 5 -L 3 -B 1 -delta 6
+//	trace -topo hypercube -size 4 -worms 6 -L 2 -B 2
 package main
 
 import (
@@ -22,8 +23,8 @@ import (
 
 func main() {
 	var (
-		topo   = flag.String("topo", "ring", "topology: ring|chain|torus")
-		size   = flag.Int("size", 8, "nodes (ring/chain) or side (torus)")
+		topo   = flag.String("topo", "ring", "topology: ring|chain|torus|hypercube|butterfly")
+		size   = flag.Int("size", 8, "nodes (ring/chain), side (torus) or dimension (hypercube/butterfly)")
 		nworms = flag.Int("worms", 5, "number of worms")
 		length = flag.Int("L", 3, "worm length (flits)")
 		bandw  = flag.Int("B", 1, "bandwidth (wavelengths)")
@@ -42,6 +43,10 @@ func main() {
 		g = topology.NewChain(*size).Graph()
 	case "torus":
 		g = topology.NewTorus(2, *size).Graph()
+	case "hypercube":
+		g = topology.NewHypercube(*size).Graph()
+	case "butterfly":
+		g = topology.NewButterfly(*size).Graph()
 	default:
 		fmt.Fprintf(os.Stderr, "trace: unknown topology %q\n", *topo)
 		os.Exit(1)

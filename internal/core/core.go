@@ -24,6 +24,7 @@ import (
 	"repro/internal/paths"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Params are the routing-problem parameters the paper's bounds are stated
@@ -227,6 +228,12 @@ type Config struct {
 	TrackCongestion bool
 	// CheckInvariants enables the simulator's internal checks.
 	CheckInvariants bool
+	// Probe optionally receives telemetry events: the protocol-level
+	// round hooks (RoundStarted with the round's delay range,
+	// RoundFinished with the round summary including residual congestion
+	// when tracked) plus every engine-level event of the per-round
+	// simulations. Attaching a probe never changes results.
+	Probe telemetry.Probe
 }
 
 // RoundStats summarizes one round of the protocol.
@@ -242,10 +249,13 @@ type RoundStats struct {
 	// ResidualCongestion is the path congestion of the active
 	// sub-collection at round start (-1 unless TrackCongestion).
 	ResidualCongestion int
-	// Utilization is the fraction of (link, wavelength, step) capacity the
-	// round's traffic occupied (both bands counted against the message
-	// band's capacity).
+	// Utilization is the fraction of message-band (link, wavelength,
+	// step) capacity the round's message traffic occupied;
+	// acknowledgement traffic lives in the reserved band and is reported
+	// by AckUtilization.
 	Utilization float64
+	// AckUtilization is the ack band's occupied capacity fraction.
+	AckUtilization float64
 }
 
 // Result is the full account of one protocol run.
@@ -343,6 +353,9 @@ func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.En
 		if cfg.TrackCongestion {
 			stats.ResidualCongestion = residualCongestion(c, active)
 		}
+		if cfg.Probe != nil {
+			cfg.Probe.RoundStarted(t, delta, len(active))
+		}
 
 		var ranks []int
 		if cfg.Rule == optical.Priority {
@@ -376,6 +389,7 @@ func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.En
 			AckLength:        cfg.AckLength,
 			RecordCollisions: cfg.RecordCollisions,
 			CheckInvariants:  cfg.CheckInvariants,
+			Probe:            cfg.Probe,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d: %w", t, err)
@@ -400,6 +414,19 @@ func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.En
 		stats.Collisions = simRes.CollisionCount
 		stats.Makespan = simRes.Makespan
 		stats.Utilization = simRes.Utilization(g.NumLinks(), cfg.Bandwidth)
+		stats.AckUtilization = simRes.AckUtilization(g.NumLinks(), cfg.Bandwidth)
+		if cfg.Probe != nil {
+			cfg.Probe.RoundFinished(telemetry.RoundInfo{
+				Round:              t,
+				DelayRange:         delta,
+				Active:             stats.ActiveBefore,
+				Delivered:          stats.Delivered,
+				Acked:              stats.Acked,
+				Collisions:         stats.Collisions,
+				Makespan:           stats.Makespan,
+				ResidualCongestion: stats.ResidualCongestion,
+			})
+		}
 		if cfg.RecordCollisions {
 			// The engine owns simRes.Collisions and recycles it next round;
 			// retained traces need their own copy.

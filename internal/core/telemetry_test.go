@@ -1,0 +1,132 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/optical"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+)
+
+// roundRecorder records only the protocol-level hooks, forwarding nothing.
+type roundRecorder struct {
+	telemetry.Collector // engine-level hooks inherit the collector
+	started             []telemetry.RoundInfo
+	finished            []telemetry.RoundInfo
+}
+
+// RoundStarted records the round opening.
+func (r *roundRecorder) RoundStarted(round, delayRange, active int) {
+	r.started = append(r.started, telemetry.RoundInfo{Round: round, DelayRange: delayRange, Active: active})
+	r.Collector.RoundStarted(round, delayRange, active)
+}
+
+// RoundFinished records the round summary.
+func (r *roundRecorder) RoundFinished(info telemetry.RoundInfo) {
+	r.finished = append(r.finished, info)
+	r.Collector.RoundFinished(info)
+}
+
+// TestProbeRoundHooks checks the protocol fires RoundStarted/RoundFinished
+// in matched, ordered pairs whose payloads agree with the RoundStats the
+// protocol itself reports — and that attaching the probe does not perturb
+// the run.
+func TestProbeRoundHooks(t *testing.T) {
+	c := torusPermCollection(t, 5, 11)
+	cfg := Config{
+		Bandwidth: 2,
+		Length:    3,
+		Rule:      optical.ServeFirst,
+		AckLength: 1,
+	}
+	rec := &roundRecorder{Collector: *telemetry.NewCollector()}
+	cfg.Probe = rec
+	probed, err := Run(c, cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Probe = nil
+	plain, err := Run(c, cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(probed.Rounds, plain.Rounds) ||
+		probed.TotalTime != plain.TotalTime ||
+		probed.MeasuredTime != plain.MeasuredTime {
+		t.Errorf("probe changed the protocol result:\nprobed %+v\nplain  %+v", probed, plain)
+	}
+
+	if len(rec.started) != len(rec.finished) || len(rec.finished) != probed.TotalRounds {
+		t.Fatalf("hook counts: %d started, %d finished, %d rounds",
+			len(rec.started), len(rec.finished), probed.TotalRounds)
+	}
+	for i, rs := range probed.Rounds {
+		if got := rec.started[i]; got.Round != rs.Round || got.DelayRange != rs.DelayRange || got.Active != rs.ActiveBefore {
+			t.Errorf("RoundStarted[%d] = %+v vs stats %+v", i, got, rs)
+		}
+		want := telemetry.RoundInfo{
+			Round:              rs.Round,
+			DelayRange:         rs.DelayRange,
+			Active:             rs.ActiveBefore,
+			Delivered:          rs.Delivered,
+			Acked:              rs.Acked,
+			Collisions:         rs.Collisions,
+			Makespan:           rs.Makespan,
+			ResidualCongestion: rs.ResidualCongestion,
+		}
+		if rec.finished[i] != want {
+			t.Errorf("RoundFinished[%d] = %+v, want %+v", i, rec.finished[i], want)
+		}
+	}
+
+	// The embedded collector observed one engine run per protocol round and
+	// every worm's eventual acknowledgement.
+	s := rec.Collector.Snapshot()
+	if s.Runs != uint64(probed.TotalRounds) || s.RoundsObserved != uint64(probed.TotalRounds) {
+		t.Errorf("collector runs/rounds = %d/%d, want %d", s.Runs, s.RoundsObserved, probed.TotalRounds)
+	}
+	n := c.Size()
+	if probed.AllDelivered && s.Acked != uint64(n) {
+		t.Errorf("collector acked %d of %d worms", s.Acked, n)
+	}
+	// Retries histogram: one observation per acked worm, with the round
+	// histogram consistent with the per-round Acked counts.
+	var ackSum uint64
+	for _, rs := range probed.Rounds {
+		ackSum += uint64(rs.Acked) * uint64(rs.Round)
+	}
+	if s.RoundsToAck.Count != s.Acked || s.RoundsToAck.Sum != ackSum {
+		t.Errorf("rounds-to-ack count/sum = %d/%d, want %d/%d",
+			s.RoundsToAck.Count, s.RoundsToAck.Sum, s.Acked, ackSum)
+	}
+}
+
+// TestRoundUtilizationBands pins the satellite fix: Utilization is
+// message-band occupancy over message-band capacity, and ack traffic is
+// reported separately, so the two never mix denominators.
+func TestRoundUtilizationBands(t *testing.T) {
+	c := torusPermCollection(t, 4, 2)
+	res, err := Run(c, Config{
+		Bandwidth: 2,
+		Length:    3,
+		Rule:      optical.ServeFirst,
+		AckLength: 1,
+	}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range res.Rounds {
+		if rs.Utilization < 0 || rs.Utilization > 1 {
+			t.Errorf("round %d: Utilization %v out of [0,1]", rs.Round, rs.Utilization)
+		}
+		if rs.AckUtilization < 0 || rs.AckUtilization > 1 {
+			t.Errorf("round %d: AckUtilization %v out of [0,1]", rs.Round, rs.AckUtilization)
+		}
+	}
+	// With L=3 worms against 1-flit acks the message band must dominate.
+	if res.Rounds[0].Utilization <= res.Rounds[0].AckUtilization {
+		t.Errorf("round 1: message utilization %v should exceed ack utilization %v",
+			res.Rounds[0].Utilization, res.Rounds[0].AckUtilization)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // trialStats aggregates protocol runs over repeated trials.
@@ -39,17 +40,29 @@ func runTrials(c *paths.Collection, cfg core.Config, trials int, src *rng.Source
 	}
 	var wg sync.WaitGroup
 	var next atomic.Int64
+	live := liveTelemetry
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			eng := sim.NewEngine() // goroutine-local; never shared
+			wcfg := cfg
+			var col *telemetry.Collector
+			if live != nil {
+				// Per-goroutine collector: hooks stay lock-free; the merged
+				// deltas land in the shared aggregate after every trial.
+				col = telemetry.NewCollector()
+				wcfg.Probe = col
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= trials {
 					return
 				}
-				results[i], errs[i] = core.RunWithEngine(c, cfg, sources[i], eng)
+				results[i], errs[i] = core.RunWithEngine(c, wcfg, sources[i], eng)
+				if col != nil {
+					live.Absorb(col)
+				}
 			}
 		}()
 	}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/optical"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// TestRunTrialsPublishesLiveTelemetry: with a live aggregate installed,
+// the trial harness' concurrent workers must publish per-trial deltas into
+// it, and the aggregate must account for every trial; without one, results
+// are identical (the probe never steers).
+func TestRunTrialsPublishesLiveTelemetry(t *testing.T) {
+	tor := topology.NewTorus(2, 4)
+	prs := paths.RandomPermutation(tor.Graph().NumNodes(), rng.New(3))
+	col, err := paths.Build(tor.Graph(), prs, paths.DimOrderTorus(tor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Bandwidth: 2, Length: 3, Rule: optical.ServeFirst, AckLength: 1}
+	const trials = 6
+
+	live := telemetry.NewLive()
+	SetLive(live)
+	defer SetLive(nil)
+	withTel, err := runTrials(col, cfg, trials, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetLive(nil)
+	without, err := runTrials(col, cfg, trials, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range withTel.Rounds {
+		if withTel.Rounds[i] != without.Rounds[i] || withTel.Measured[i] != without.Measured[i] {
+			t.Fatalf("trial %d: telemetry changed the result: %v/%v vs %v/%v", i,
+				withTel.Rounds[i], withTel.Measured[i], without.Rounds[i], without.Measured[i])
+		}
+	}
+
+	s := live.Snapshot()
+	var rounds uint64
+	for _, r := range withTel.Rounds {
+		rounds += uint64(r)
+	}
+	if s.Runs != rounds || s.RoundsObserved != rounds {
+		t.Errorf("aggregate runs/rounds = %d/%d, want %d (sum over %d trials)",
+			s.Runs, s.RoundsObserved, rounds, trials)
+	}
+	wantAcked := uint64(trials * col.Size())
+	if withTel.Completed == trials && s.Acked != wantAcked {
+		t.Errorf("aggregate acked = %d, want %d", s.Acked, wantAcked)
+	}
+	if s.Steps == 0 || s.MessageBusySlotSteps == 0 {
+		t.Errorf("aggregate saw no engine activity: %+v", s)
+	}
+}

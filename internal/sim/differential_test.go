@@ -33,6 +33,15 @@ func compareResults(t *testing.T, label string, fast, ref *Result) {
 	if fast.BusySlotSteps != ref.BusySlotSteps {
 		t.Fatalf("%s: BusySlotSteps %d vs %d", label, fast.BusySlotSteps, ref.BusySlotSteps)
 	}
+	if fast.MessageBusySlotSteps != ref.MessageBusySlotSteps || fast.AckBusySlotSteps != ref.AckBusySlotSteps {
+		t.Fatalf("%s: per-band busy %d/%d vs %d/%d", label,
+			fast.MessageBusySlotSteps, fast.AckBusySlotSteps,
+			ref.MessageBusySlotSteps, ref.AckBusySlotSteps)
+	}
+	if fast.MessageBusySlotSteps+fast.AckBusySlotSteps != fast.BusySlotSteps {
+		t.Fatalf("%s: BusySlotSteps %d is not the band sum %d+%d", label,
+			fast.BusySlotSteps, fast.MessageBusySlotSteps, fast.AckBusySlotSteps)
+	}
 	if fast.DeliveredCount != ref.DeliveredCount || fast.AckedCount != ref.AckedCount {
 		t.Fatalf("%s: delivered/acked %d/%d vs %d/%d", label,
 			fast.DeliveredCount, fast.AckedCount, ref.DeliveredCount, ref.AckedCount)

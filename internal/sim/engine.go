@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/optical"
+	"repro/internal/telemetry"
 )
 
 // train is one flit train: a message worm or an acknowledgement.
@@ -65,9 +66,13 @@ type Engine struct {
 	// occ is the flat occupancy table indexed by the dense slot key
 	// (band*nLinks + link)*Bandwidth + wavelength; a nil fragment marks a
 	// free slot. occCount tracks the number of occupied slots so the
-	// per-step busy accounting needs no scan.
+	// per-step busy accounting needs no scan; occMsg tracks the
+	// message-band share (keys below msgSlots), giving the per-band
+	// busy totals without a second table walk.
 	occ      []occupant
 	occCount int
+	occMsg   int
+	msgSlots int // nLinks*Bandwidth: first ack-band key
 	cal      calendar
 	active   []*fragment
 	res      Result
@@ -77,6 +82,10 @@ type Engine struct {
 	live     []entry // per-group scratch after headChild chain resolution
 	arena    arena
 	val      validator
+	// probe receives telemetry events when non-nil (copied from the
+	// Config each begin); every hook site guards with one nil check.
+	probe telemetry.Probe
+	now   int // current step, for hook sites without a t parameter
 }
 
 // NewEngine returns an empty engine ready for its first Run.
@@ -132,6 +141,13 @@ func (e *Engine) fragKey(f *fragment, i int) int {
 func (e *Engine) setOcc(k int, f *fragment, idx int) {
 	if e.occ[k].f == nil {
 		e.occCount++
+		if k < e.msgSlots {
+			e.occMsg++
+		}
+		if e.probe != nil {
+			band, link, wave := e.slotCoords(k)
+			e.probe.SlotClaimed(e.now, band, link, wave)
+		}
 	}
 	e.occ[k] = occupant{f: f, idx: idx}
 }
@@ -141,7 +157,28 @@ func (e *Engine) delOcc(k int, f *fragment) {
 	if e.occ[k].f == f {
 		e.occ[k] = occupant{}
 		e.occCount--
+		if k < e.msgSlots {
+			e.occMsg--
+		}
+		if e.probe != nil {
+			band, link, wave := e.slotCoords(k)
+			e.probe.SlotReleased(e.now, band, link, wave)
+		}
 	}
+}
+
+// slotCoords decomposes occupancy key k into its (band, link, wavelength)
+// coordinates for probe hooks, with a single division: the quotient
+// k/Bandwidth is band*nLinks+link, and band is 0 or 1.
+func (e *Engine) slotCoords(k int) (band, link, wave int) {
+	q := k / e.cfg.Bandwidth
+	wave = k - q*e.cfg.Bandwidth
+	link = q
+	if q >= e.nLinks {
+		band = 1
+		link = q - e.nLinks
+	}
+	return band, link, wave
 }
 
 // begin resets the engine for a new run on graph g under cfg, with room
@@ -149,7 +186,8 @@ func (e *Engine) delOcc(k int, f *fragment) {
 func (e *Engine) begin(g *graph.Graph, cfg Config, nOutcomes int) {
 	e.g, e.cfg = g, cfg
 	e.nLinks = g.NumLinks()
-	need := 2 * e.nLinks * cfg.Bandwidth // message band + ack band
+	e.msgSlots = e.nLinks * cfg.Bandwidth
+	need := 2 * e.msgSlots // message band + ack band
 	if cap(e.occ) < need {
 		e.occ = make([]occupant, need)
 	} else {
@@ -157,6 +195,12 @@ func (e *Engine) begin(g *graph.Graph, cfg Config, nOutcomes int) {
 		clear(e.occ)
 	}
 	e.occCount = 0
+	e.occMsg = 0
+	e.now = 0
+	e.probe = cfg.Probe
+	if e.probe != nil {
+		e.probe.BeginRun(telemetry.RunMeta{Links: e.nLinks, Bandwidth: cfg.Bandwidth, Worms: nOutcomes})
+	}
 	e.cal.reset()
 	e.active = e.active[:0]
 	e.pendConv = e.pendConv[:0]
@@ -246,6 +290,9 @@ func (e *Engine) Run(g *graph.Graph, worms []Worm, cfg Config) (*Result, error) 
 			e.res.AckedCount++
 		}
 	}
+	if e.probe != nil {
+		e.probe.EndRun(e.res.Makespan)
+	}
 	return &e.res, nil
 }
 
@@ -268,6 +315,7 @@ func (e *Engine) addTrain(tr *train) {
 
 // step advances the simulation by one time step.
 func (e *Engine) step(t int) {
+	e.now = t
 	// 1. Releases: free links the tails have passed; detect completion.
 	// This runs before activation so that an acknowledgement spawned by a
 	// delivery completing at step t-1 (ack start = t) is activated below.
@@ -428,6 +476,11 @@ func (e *Engine) step(t int) {
 	}
 	e.active = liveActive
 	e.res.BusySlotSteps += e.occCount
+	e.res.MessageBusySlotSteps += e.occMsg
+	e.res.AckBusySlotSteps += e.occCount - e.occMsg
+	if e.probe != nil {
+		e.probe.StepAdvanced(t, e.occMsg, e.occCount-e.occMsg)
+	}
 	// Every executed step either activated or advanced a fragment (the run
 	// loop jumps over idle gaps), so t is the last meaningful step so far.
 	e.res.Makespan = t
@@ -467,14 +520,23 @@ func (e *Engine) complete(f *fragment, t int) {
 		out := &e.res.Outcomes[tr.outIdx]
 		out.Acked = true
 		out.AckedAt = deliveredAt
+		if e.probe != nil {
+			e.probe.AckCompleted(deliveredAt, tr.id, deliveredAt-tr.start)
+		}
 		return
 	}
 	out := &e.res.Outcomes[tr.outIdx]
 	out.Delivered = true
 	out.DeliveredAt = deliveredAt
+	if e.probe != nil {
+		e.probe.WormDelivered(deliveredAt, tr.id, len(tr.links), deliveredAt-tr.start)
+	}
 	if e.cfg.AckLength == 0 {
 		out.Acked = true
 		out.AckedAt = deliveredAt
+		if e.probe != nil {
+			e.probe.AckCompleted(deliveredAt, tr.id, 0)
+		}
 		return
 	}
 	// Spawn the acknowledgement on the reversed links in the ack band.
@@ -525,6 +587,9 @@ func (e *Engine) recordCut(f *fragment, idx, t int, blocker *train) {
 	tr := f.t
 	tr.cut = true
 	e.res.CollisionCount++
+	if e.probe != nil {
+		e.probe.WormCut(t, int(tr.band), int(tr.links[idx]), e.waveAt(tr, idx), tr.id, tr.isAck)
+	}
 	out := &e.res.Outcomes[tr.outIdx]
 	if tr.isAck {
 		if out.AckCutTime < 0 {
@@ -553,6 +618,9 @@ func (e *Engine) recordCut(f *fragment, idx, t int, blocker *train) {
 // preempted incumbent); its occupancy there is surrendered to the caller.
 func (e *Engine) split(f *fragment, cutIdx, jCut, t int, occupiedCut bool) {
 	f.gone = true
+	if e.probe != nil {
+		e.probe.FragmentSplit(t, f.t.id)
+	}
 	if e.cfg.Wreckage == Vanish {
 		// Drop all occupancy instantly.
 		limit := f.limit()
@@ -637,13 +705,16 @@ func maxInt(a, b int) int {
 // checkInvariants validates the occupancy table against the fragment
 // windows after a step. Only used in tests.
 func (e *Engine) checkInvariants(t int) error {
-	count := 0
+	count, msgCount := 0, 0
 	for k, oc := range e.occ {
 		f := oc.f
 		if f == nil {
 			continue
 		}
 		count++
+		if k < e.msgSlots {
+			msgCount++
+		}
 		if f.gone {
 			return fmt.Errorf("sim: step %d: occupancy points at a gone fragment (worm %d)", t, f.t.id)
 		}
@@ -659,6 +730,9 @@ func (e *Engine) checkInvariants(t int) error {
 	}
 	if count != e.occCount {
 		return fmt.Errorf("sim: step %d: occupied-slot count %d != tracked %d", t, count, e.occCount)
+	}
+	if msgCount != e.occMsg {
+		return fmt.Errorf("sim: step %d: message-band slot count %d != tracked %d", t, msgCount, e.occMsg)
 	}
 	// Fragments of one train must not overlap in flit ranges.
 	byTrain := make(map[*train][]*fragment)

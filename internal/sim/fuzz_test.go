@@ -49,7 +49,9 @@ func FuzzEngineVsReference(f *testing.F) {
 		}
 		if fast.CollisionCount != ref.CollisionCount ||
 			fast.Makespan != ref.Makespan ||
-			fast.BusySlotSteps != ref.BusySlotSteps {
+			fast.BusySlotSteps != ref.BusySlotSteps ||
+			fast.MessageBusySlotSteps != ref.MessageBusySlotSteps ||
+			fast.AckBusySlotSteps != ref.AckBusySlotSteps {
 			t.Fatalf("aggregate disagreement: engine coll=%d makespan=%d busy=%d vs reference coll=%d makespan=%d busy=%d",
 				fast.CollisionCount, fast.Makespan, fast.BusySlotSteps,
 				ref.CollisionCount, ref.Makespan, ref.BusySlotSteps)

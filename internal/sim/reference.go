@@ -349,7 +349,16 @@ func (r *refEngine) step(t int) {
 		}
 	}
 	r.live = stillLive
+	msgBusy := 0
+	msgSlots := int64(r.g.NumLinks()) * int64(r.cfg.Bandwidth)
+	for k := range r.prev {
+		if k < msgSlots {
+			msgBusy++
+		}
+	}
 	r.res.BusySlotSteps += len(r.prev)
+	r.res.MessageBusySlotSteps += msgBusy
+	r.res.AckBusySlotSteps += len(r.prev) - msgBusy
 	r.res.Makespan = t
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/optical"
+	"repro/internal/telemetry"
 )
 
 // WreckagePolicy selects what happens to a worm that loses a collision.
@@ -80,6 +81,12 @@ type Config struct {
 	Conversion func(node graph.NodeID) bool
 	// RecordCollisions retains a Collision entry for every lost conflict.
 	RecordCollisions bool
+	// Probe optionally receives engine events (see internal/telemetry):
+	// run boundaries, per-step busy totals, slot claims and releases,
+	// cuts, splits, deliveries and ack completions. A nil probe costs one
+	// predictable branch per hook site; attaching a probe never changes
+	// the simulation result.
+	Probe telemetry.Probe
 	// CheckInvariants enables per-step internal consistency checks
 	// (occupancy table vs. fragment windows). For tests; slows the run.
 	CheckInvariants bool
@@ -161,24 +168,39 @@ type Result struct {
 	// Makespan is the last step at which anything happened.
 	Makespan int
 	// BusySlotSteps counts occupied (link, wavelength) slots summed over
-	// steps — the numerator of link utilization.
+	// steps across BOTH bands: it is always the documented sum
+	// MessageBusySlotSteps + AckBusySlotSteps.
 	BusySlotSteps int
+	// MessageBusySlotSteps counts occupied message-band slots summed over
+	// steps — the numerator of message-band link utilization.
+	MessageBusySlotSteps int
+	// AckBusySlotSteps counts occupied ack-band slots summed over steps.
+	AckBusySlotSteps int
 	// DeliveredCount and AckedCount summarize the outcomes.
 	DeliveredCount, AckedCount int
 }
 
-// Utilization returns BusySlotSteps normalized by the message-band
-// capacity links*B*(makespan+1); acks occupy the reserved band, so values
-// slightly above 1 are possible when both bands are busy.
+// Utilization returns MessageBusySlotSteps normalized by the message-band
+// capacity links*B*(makespan+1). Acknowledgement traffic occupies the
+// reserved second band and is reported by AckUtilization; earlier
+// versions mixed it into this numerator, overstating message-band load.
 func (r *Result) Utilization(links, bandwidth int) float64 {
-	if links <= 0 || bandwidth <= 0 || r.Makespan < 0 {
+	return bandUtilization(r.MessageBusySlotSteps, links, bandwidth, r.Makespan)
+}
+
+// AckUtilization returns AckBusySlotSteps normalized by the ack-band
+// capacity links*B*(makespan+1).
+func (r *Result) AckUtilization(links, bandwidth int) float64 {
+	return bandUtilization(r.AckBusySlotSteps, links, bandwidth, r.Makespan)
+}
+
+// bandUtilization normalizes one band's busy-slot total by that band's
+// capacity links*B*(makespan+1).
+func bandUtilization(busy, links, bandwidth, makespan int) float64 {
+	if links <= 0 || bandwidth <= 0 || makespan < 0 {
 		return 0
 	}
-	den := float64(links) * float64(bandwidth) * float64(r.Makespan+1)
-	if den == 0 {
-		return 0
-	}
-	return float64(r.BusySlotSteps) / den
+	return float64(busy) / (float64(links) * float64(bandwidth) * float64(makespan+1))
 }
 
 // Delivered reports whether worm index i was fully delivered.

@@ -1,0 +1,169 @@
+package telemetry
+
+// Histogram is a fixed-bucket histogram of non-negative integers. The
+// bucket layout is chosen at construction and never changes, so Observe
+// is a branch-light loop with no allocation; Prometheus-style cumulative
+// buckets are materialized only at snapshot time.
+type Histogram struct {
+	bounds []int    // inclusive upper bounds, strictly increasing
+	counts []uint64 // len(bounds)+1; the last bucket is +Inf
+	count  uint64
+	sum    uint64
+	min    int
+	max    int
+}
+
+// NewHistogram returns a histogram with the given inclusive upper bucket
+// bounds (strictly increasing); an implicit +Inf bucket is appended. It
+// panics on an empty or non-increasing bounds slice.
+func NewHistogram(bounds []int) Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	return Histogram{
+		bounds: append([]int(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+		min:    -1,
+	}
+}
+
+// ExpBuckets returns n strictly increasing bounds start, start*factor,
+// start*factor^2, ... (rounded up to stay strictly increasing). It
+// panics on start < 1, factor < 2 or n < 1.
+func ExpBuckets(start, factor, n int) []int {
+	if start < 1 || factor < 2 || n < 1 {
+		panic("telemetry: ExpBuckets needs start >= 1, factor >= 2, n >= 1")
+	}
+	bounds := make([]int, n)
+	v := start
+	for i := 0; i < n; i++ {
+		bounds[i] = v
+		v *= factor
+	}
+	return bounds
+}
+
+// LinearBuckets returns n bounds start, start+width, start+2*width, ...
+// It panics on width < 1 or n < 1.
+func LinearBuckets(start, width, n int) []int {
+	if width < 1 || n < 1 {
+		panic("telemetry: LinearBuckets needs width >= 1, n >= 1")
+	}
+	bounds := make([]int, n)
+	for i := 0; i < n; i++ {
+		bounds[i] = start + i*width
+	}
+	return bounds
+}
+
+// Observe records value v (negative values clamp to 0).
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += uint64(v)
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns the mean observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Merge adds o's observations into h. The two histograms must share the
+// same bucket layout (which they do when built by the same constructor);
+// Merge panics otherwise.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic("telemetry: merging histograms with different bucket layouts")
+	}
+	for i, b := range o.bounds {
+		if h.bounds[i] != b {
+			panic("telemetry: merging histograms with different bucket layouts")
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.count > 0 {
+		if h.min < 0 || (o.min >= 0 && o.min < h.min) {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// Reset zeroes all observations, keeping the bucket layout.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count, h.sum, h.min, h.max = 0, 0, -1, 0
+}
+
+// Snapshot returns a copy of the histogram's state for serialization.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: append([]int(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+}
+
+// HistogramSnapshot is a serializable copy of a Histogram.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bucket bounds; an implicit +Inf
+	// bucket follows the last bound.
+	Bounds []int `json:"bounds"`
+	// Counts[i] counts observations in bucket i (len(Bounds)+1 buckets).
+	Counts []uint64 `json:"counts"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// Sum is the sum of all observed values.
+	Sum uint64 `json:"sum"`
+	// Min is the smallest observed value (-1 with no observations).
+	Min int `json:"min"`
+	// Max is the largest observed value.
+	Max int `json:"max"`
+}
+
+// Mean returns the snapshot's mean observed value (0 with no
+// observations).
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

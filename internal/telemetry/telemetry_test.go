@@ -1,0 +1,348 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]int{1, 2, 4, 8})
+	for _, v := range []int{0, 1, 2, 3, 5, 9, 100, -7} {
+		h.Observe(v)
+	}
+	// -7 clamps to 0; buckets (<=1, <=2, <=4, <=8, +Inf).
+	want := []uint64{3, 1, 1, 1, 2}
+	s := h.Snapshot()
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: got %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0+1+2+3+5+9+100+0 {
+		t.Errorf("sum = %d", h.Sum())
+	}
+	if s.Min != 0 || s.Max != 100 {
+		t.Errorf("min/max = %d/%d, want 0/100", s.Min, s.Max)
+	}
+	if got := h.Mean(); got != 15 {
+		t.Errorf("mean = %v, want 15", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram([]int{1})
+	if h.Mean() != 0 {
+		t.Error("empty mean must be 0")
+	}
+	s := h.Snapshot()
+	if s.Min != -1 || s.Max != 0 || s.Mean() != 0 {
+		t.Errorf("empty snapshot min/max/mean = %d/%d/%v", s.Min, s.Max, s.Mean())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]int{2, 4})
+	b := NewHistogram([]int{2, 4})
+	a.Observe(1)
+	a.Observe(5)
+	b.Observe(3)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Sum() != 9 {
+		t.Errorf("merged count/sum = %d/%d, want 3/9", a.Count(), a.Sum())
+	}
+	s := a.Snapshot()
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("merged min/max = %d/%d", s.Min, s.Max)
+	}
+	// Merging an empty histogram must not disturb min.
+	empty := NewHistogram([]int{2, 4})
+	a.Merge(&empty)
+	if a.Snapshot().Min != 1 {
+		t.Error("merging empty histogram changed min")
+	}
+}
+
+func TestHistogramMergeLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different layouts must panic")
+		}
+	}()
+	a := NewHistogram([]int{1, 2})
+	b := NewHistogram([]int{1, 3})
+	a.Merge(&b)
+}
+
+func TestBucketConstructors(t *testing.T) {
+	if got := ExpBuckets(1, 2, 5); len(got) != 5 || got[0] != 1 || got[4] != 16 {
+		t.Errorf("ExpBuckets(1,2,5) = %v", got)
+	}
+	if got := LinearBuckets(3, 2, 4); got[0] != 3 || got[3] != 9 {
+		t.Errorf("LinearBuckets(3,2,4) = %v", got)
+	}
+}
+
+// drive feeds a collector a tiny synthetic run: two links, one wavelength,
+// one worm delivered and acked over four steps, one cut on link 1.
+func drive(c *Collector) {
+	c.BeginRun(RunMeta{Links: 2, Bandwidth: 1, Worms: 1})
+	c.SlotClaimed(0, MessageBand, 0, 0)
+	c.StepAdvanced(0, 1, 0)
+	c.SlotClaimed(1, MessageBand, 1, 0)
+	c.StepAdvanced(1, 2, 0)
+	c.SlotReleased(2, MessageBand, 0, 0)
+	c.WormCut(2, MessageBand, 1, 0, 7, false)
+	c.FragmentSplit(2, 7)
+	c.StepAdvanced(2, 1, 0)
+	c.SlotReleased(3, MessageBand, 1, 0)
+	c.WormDelivered(3, 0, 2, 3)
+	c.AckCompleted(3, 0, 0)
+	c.StepAdvanced(3, 0, 0)
+	c.EndRun(3)
+}
+
+func TestCollectorCounters(t *testing.T) {
+	c := NewCollector()
+	drive(c)
+	s := c.Snapshot()
+	if s.Runs != 1 || s.Steps != 4 || s.WormsLaunched != 1 {
+		t.Errorf("runs/steps/worms = %d/%d/%d", s.Runs, s.Steps, s.WormsLaunched)
+	}
+	if s.MessageBusySlotSteps != 4 || s.AckBusySlotSteps != 0 {
+		t.Errorf("busy = %d/%d, want 4/0", s.MessageBusySlotSteps, s.AckBusySlotSteps)
+	}
+	if s.MessageCuts != 1 || s.AckCuts != 0 || s.FragmentSplits != 1 {
+		t.Errorf("cuts/splits = %d/%d/%d", s.MessageCuts, s.AckCuts, s.FragmentSplits)
+	}
+	if s.Delivered != 1 || s.Acked != 1 {
+		t.Errorf("delivered/acked = %d/%d", s.Delivered, s.Acked)
+	}
+	if len(s.Collisions) != 1 || s.Collisions[0] != (SlotCount{Band: MessageBand, Link: 1, Wavelength: 0, Count: 1}) {
+		t.Errorf("collisions = %+v", s.Collisions)
+	}
+	if s.Makespan.Count != 1 || s.Makespan.Sum != 3 {
+		t.Errorf("makespan histogram = %+v", s.Makespan)
+	}
+	if s.StepsToDelivery.Sum != 3 || s.StepsToDelivery.Count != 1 {
+		t.Errorf("delivery histogram = %+v", s.StepsToDelivery)
+	}
+}
+
+// TestCollectorLinkBusyIntegral pins the claim/release busy-time math:
+// claim at t1, release at t2 contributes exactly t2-t1 slot-steps, which
+// matches the engine's end-of-step occupancy counting.
+func TestCollectorLinkBusyIntegral(t *testing.T) {
+	c := NewCollector()
+	drive(c)
+	s := c.Snapshot()
+	// Link 0 busy over [0,2) = 2, link 1 over [1,3) = 2.
+	want := map[int]uint64{0: 2, 1: 2}
+	if len(s.LinkBusySteps) != 2 {
+		t.Fatalf("link busy cells = %+v", s.LinkBusySteps)
+	}
+	var sum uint64
+	for _, lb := range s.LinkBusySteps {
+		if lb.Band != MessageBand || lb.BusySlotSteps != want[lb.Link] {
+			t.Errorf("link %d busy = %d, want %d", lb.Link, lb.BusySlotSteps, want[lb.Link])
+		}
+		sum += lb.BusySlotSteps
+	}
+	// The per-link integrals must sum to the per-band step counter.
+	if sum != s.MessageBusySlotSteps {
+		t.Errorf("per-link sum %d != band total %d", sum, s.MessageBusySlotSteps)
+	}
+}
+
+func TestCollectorRoundHooks(t *testing.T) {
+	c := NewCollector()
+	c.RoundStarted(1, 64, 10)
+	c.BeginRun(RunMeta{Links: 2, Bandwidth: 1, Worms: 10})
+	c.AckCompleted(5, 0, 2)
+	c.EndRun(5)
+	c.RoundFinished(RoundInfo{Round: 1, DelayRange: 64, Active: 10, Acked: 1, Makespan: 5, ResidualCongestion: -1})
+	c.RoundStarted(2, 32, 9)
+	c.BeginRun(RunMeta{Links: 2, Bandwidth: 1, Worms: 9})
+	c.AckCompleted(4, 1, 2)
+	c.EndRun(4)
+	c.RoundFinished(RoundInfo{Round: 2, DelayRange: 32, Active: 9, Acked: 1, Makespan: 4, ResidualCongestion: -1})
+
+	s := c.Snapshot()
+	if s.RoundsObserved != 2 || len(s.Rounds) != 2 {
+		t.Fatalf("rounds observed/kept = %d/%d", s.RoundsObserved, len(s.Rounds))
+	}
+	if s.Rounds[1].DelayRange != 32 {
+		t.Errorf("round 2 info = %+v", s.Rounds[1])
+	}
+	// Worm 0 acked in round 1 (0 retries), worm 1 in round 2 (1 retry).
+	if s.Retries.Sum != 1 || s.Retries.Count != 2 {
+		t.Errorf("retries histogram = %+v", s.Retries)
+	}
+	if s.RoundsToAck.Sum != 3 {
+		t.Errorf("rounds-to-ack sum = %d, want 3", s.RoundsToAck.Sum)
+	}
+}
+
+func TestCollectorRoundRetention(t *testing.T) {
+	c := NewCollector()
+	for r := 1; r <= maxTrackedRounds+3; r++ {
+		c.RoundFinished(RoundInfo{Round: r})
+	}
+	s := c.Snapshot()
+	if len(s.Rounds) != maxTrackedRounds || s.RoundsDropped != 3 {
+		t.Errorf("kept %d rounds, dropped %d", len(s.Rounds), s.RoundsDropped)
+	}
+}
+
+func TestCollectorMerge(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	drive(a)
+	drive(b)
+	a.Merge(b)
+	s := a.Snapshot()
+	if s.Runs != 2 || s.Steps != 8 || s.Delivered != 2 {
+		t.Errorf("merged runs/steps/delivered = %d/%d/%d", s.Runs, s.Steps, s.Delivered)
+	}
+	if s.MessageBusySlotSteps != 8 {
+		t.Errorf("merged busy = %d, want 8", s.MessageBusySlotSteps)
+	}
+	if len(s.Collisions) != 1 || s.Collisions[0].Count != 2 {
+		t.Errorf("merged collisions = %+v", s.Collisions)
+	}
+	if s.StepsToDelivery.Count != 2 {
+		t.Errorf("merged delivery count = %d", s.StepsToDelivery.Count)
+	}
+	// b is untouched by Merge.
+	if b.Snapshot().Runs != 1 {
+		t.Error("Merge must not modify its argument")
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector()
+	drive(c)
+	c.Reset()
+	s := c.Snapshot()
+	if s.Runs != 0 || s.Steps != 0 || len(s.Collisions) != 0 || len(s.LinkBusySteps) != 0 {
+		t.Errorf("reset left state behind: %+v", s)
+	}
+	// The geometry stays provisioned, so reuse does not reallocate.
+	if s.Links != 2 || s.Bandwidth != 1 {
+		t.Errorf("reset must keep provisioned geometry, got %d/%d", s.Links, s.Bandwidth)
+	}
+}
+
+// TestCollectorHooksAllocationFree pins the tentpole's core promise: once
+// provisioned, the per-event path performs zero allocations.
+func TestCollectorHooksAllocationFree(t *testing.T) {
+	c := NewCollector()
+	drive(c) // warm up: provisions tables for this geometry
+	if avg := testing.AllocsPerRun(100, func() { drive(c) }); avg != 0 {
+		t.Errorf("collector hooks allocate %v allocs per run, want 0", avg)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	c := NewCollector()
+	drive(c)
+	var buf bytes.Buffer
+	if err := c.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip decode: %v\n%s", err, buf.String())
+	}
+	if back.Runs != 1 || back.MessageBusySlotSteps != 4 || len(back.Collisions) != 1 {
+		t.Errorf("round-tripped snapshot = %+v", back)
+	}
+	if back.Makespan.Count != 1 {
+		t.Errorf("round-tripped histogram = %+v", back.Makespan)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	c := NewCollector()
+	drive(c)
+	var buf bytes.Buffer
+	if err := c.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"optnet_runs_total 1\n",
+		"optnet_steps_total 4\n",
+		"optnet_busy_slot_steps_total{band=\"message\"} 4\n",
+		"optnet_cuts_total{band=\"message\"} 1\n",
+		"optnet_link_cuts_total{band=\"message\",link=\"1\",wavelength=\"0\"} 1\n",
+		"optnet_link_busy_slot_steps_total{band=\"message\",link=\"0\"} 2\n",
+		"optnet_steps_to_delivery_count 1\n",
+		"optnet_run_makespan_steps_sum 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative and end at +Inf == count.
+	if !strings.Contains(out, "optnet_run_makespan_steps_bucket{le=\"+Inf\"} 1\n") {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+}
+
+func TestLiveAbsorbAndExporter(t *testing.T) {
+	live := NewLive()
+	c := NewCollector()
+	drive(c)
+	live.Absorb(c)
+	if c.Snapshot().Runs != 0 {
+		t.Error("Absorb must reset the source collector")
+	}
+	drive(c)
+	live.Absorb(c) // second delta accumulates
+
+	srv := httptest.NewServer(NewExporter(live.Snapshot).Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(metrics, "optnet_runs_total 2\n") {
+		t.Errorf("aggregated metrics missing runs=2:\n%s", metrics)
+	}
+
+	snap, ctype := get("/snapshot")
+	if ctype != "application/json" {
+		t.Errorf("/snapshot content type = %q", ctype)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(snap), &s); err != nil {
+		t.Fatalf("/snapshot is not JSON: %v", err)
+	}
+	if s.Runs != 2 || s.Delivered != 2 {
+		t.Errorf("aggregated snapshot runs/delivered = %d/%d", s.Runs, s.Delivered)
+	}
+}

@@ -41,6 +41,42 @@ func ExampleAnalyze() {
 	// dilation <= diameter: true
 }
 
+// Observing a run with the telemetry collector: attach it through
+// Advanced.Probe, route, then read the aggregates from a snapshot. The
+// same snapshot serializes to Prometheus text format or JSON (see
+// Snapshot.WritePrometheus and Snapshot.WriteJSON), and an Exporter can
+// serve it over HTTP while long experiments run.
+func ExampleCollector() {
+	net := optnet.Torus(2, 8)
+	wl := optnet.Permutation(net, 42)
+	col := optnet.NewCollector()
+	res, err := optnet.Route(net, wl, optnet.Params{
+		Bandwidth:  2,
+		WormLength: 4,
+		Rule:       optnet.ServeFirst,
+		AckLength:  1,
+		Seed:       7,
+		Advanced:   &optnet.Advanced{Probe: col},
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := col.Snapshot()
+	// This permutation has one fixed point, which routes nothing, so 63 of
+	// the 64 nodes send a worm.
+	fmt.Println("all delivered:", res.AllDelivered)
+	fmt.Println("rounds observed:", s.RoundsObserved == uint64(res.TotalRounds))
+	fmt.Println("worms acked:", s.Acked)
+	fmt.Println("every launch acked or retried:", s.WormsLaunched >= s.Acked)
+	fmt.Println("busy slot-steps counted:", s.MessageBusySlotSteps > 0)
+	// Output:
+	// all delivered: true
+	// rounds observed: true
+	// worms acked: 63
+	// every launch acked or retried: true
+	// busy slot-steps counted: true
+}
+
 // Priority routers with explicit advanced protocol configuration.
 func ExampleRoute_advanced() {
 	net := optnet.Butterfly(4)

@@ -216,6 +216,9 @@ type Advanced struct {
 	RecordCollisions bool
 	// TrackCongestion records residual path congestion per round.
 	TrackCongestion bool
+	// Probe receives telemetry events (nil = no telemetry; see Probe and
+	// Collector). Probes observe the run and never alter its results.
+	Probe Probe
 }
 
 // Result re-exports the protocol result.
@@ -247,6 +250,7 @@ func RouteCollection(col *paths.Collection, p Params) (*Result, error) {
 		cfg.MaxRounds = a.MaxRounds
 		cfg.RecordCollisions = a.RecordCollisions
 		cfg.TrackCongestion = a.TrackCongestion
+		cfg.Probe = a.Probe
 	}
 	return core.Run(col, cfg, rng.New(p.Seed))
 }
@@ -290,6 +294,7 @@ func RouteMultiHop(n *Network, wl Workload, hops int, p Params) (*MultiHopResult
 		cfg.Wreckage = a.Wreckage
 		cfg.Conversion = a.Conversion
 		cfg.MaxRounds = a.MaxRounds
+		cfg.Probe = a.Probe
 	}
 	return core.RunMultiHop(col, hops, cfg, rng.New(p.Seed))
 }
@@ -328,6 +333,9 @@ type DynamicParams struct {
 	// base 2L); MaxAttempts bounds retries per request (0 = 50).
 	Retry       sim.RetryPolicy
 	MaxAttempts int
+	// Probe receives engine telemetry during continuous operation (nil =
+	// no telemetry).
+	Probe Probe
 }
 
 // DynamicResult re-exports the dynamic outcome report.
@@ -355,6 +363,7 @@ func RouteDynamic(n *Network, arrivals []Arrival, p DynamicParams) (*DynamicResu
 			Bandwidth: p.Bandwidth,
 			Rule:      p.Rule,
 			AckLength: p.AckLength,
+			Probe:     p.Probe,
 		},
 		Retry:       p.Retry,
 		MaxAttempts: p.MaxAttempts,

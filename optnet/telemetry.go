@@ -1,0 +1,50 @@
+package optnet
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Probe re-exports the telemetry hook interface. A Probe installed via
+// Advanced.Probe or DynamicParams.Probe receives engine events (slot
+// claims and releases, worm cuts, fragment splits, deliveries,
+// acknowledgements) and protocol events (round boundaries with delay
+// ranges). A nil probe costs one predictable branch per hook site and a
+// probe never changes routing results.
+type Probe = telemetry.Probe
+
+// Collector is the ready-made Probe: counters, a per-link/per-wavelength
+// collision heatmap, per-link busy time and fixed-bucket latency
+// histograms, all updated without allocating in steady state.
+type Collector = telemetry.Collector
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return telemetry.NewCollector() }
+
+// Snapshot is an immutable copy of a Collector's state, serializable as
+// JSON (WriteJSON) or Prometheus text format (WritePrometheus).
+type Snapshot = telemetry.Snapshot
+
+// HistogramSnapshot is the frozen form of one telemetry histogram.
+type HistogramSnapshot = telemetry.HistogramSnapshot
+
+// RunMeta describes one simulated round to Probe.BeginRun.
+type RunMeta = telemetry.RunMeta
+
+// RoundInfo summarizes one protocol round to Probe.RoundFinished.
+type RoundInfo = telemetry.RoundInfo
+
+// Live is a mutex-guarded telemetry aggregate that concurrent workers
+// publish into via Absorb; an Exporter can serve its Snapshot while
+// routing runs elsewhere.
+type Live = telemetry.Live
+
+// NewLive returns an empty live aggregate.
+func NewLive() *Live { return telemetry.NewLive() }
+
+// Exporter serves telemetry snapshots over HTTP: Prometheus text format
+// on /metrics and indented JSON on /snapshot.
+type Exporter = telemetry.Exporter
+
+// NewExporter returns an Exporter reading snapshots from source, for
+// example NewExporter(live.Snapshot).
+func NewExporter(source func() *Snapshot) *Exporter { return telemetry.NewExporter(source) }
