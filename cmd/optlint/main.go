@@ -1,0 +1,85 @@
+// Command optlint runs the repo-specific static-analysis suite
+// (internal/analysis) over the module and prints file:line:column
+// diagnostics, exiting nonzero when there are findings.
+//
+// Usage, from the module root:
+//
+//	go run ./cmd/optlint ./...
+//	go run ./cmd/optlint ./internal/sim ./internal/core
+//
+// A bare directory argument restricts the report to findings under that
+// directory; ./... (the default) reports everything. Findings are
+// suppressed at the source line with //optlint:allow <analyzer> and a
+// justification; see the internal/analysis package documentation for the
+// analyzer list and directive semantics.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "optlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	root := "."
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		return fmt.Errorf("must run from the module root (go.mod not found): %w", err)
+	}
+	modPath, err := analysis.ModulePath(root)
+	if err != nil {
+		return err
+	}
+	diags, err := analysis.LintModule(root, modPath, analysis.All())
+	if err != nil {
+		return err
+	}
+	diags = filterByPatterns(diags, args)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "optlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// filterByPatterns keeps diagnostics under the given directory patterns.
+// "./..." (or no arguments) keeps everything; "./dir" and "./dir/..."
+// keep findings whose file path is under dir.
+func filterByPatterns(diags []analysis.Diagnostic, patterns []string) []analysis.Diagnostic {
+	var prefixes []string
+	for _, p := range patterns {
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		p = filepath.Clean(p)
+		if p == "." {
+			return diags
+		}
+		prefixes = append(prefixes, p+string(filepath.Separator))
+	}
+	if len(prefixes) == 0 {
+		return diags
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		name := filepath.Clean(d.Pos.Filename)
+		for _, pre := range prefixes {
+			if strings.HasPrefix(name, pre) {
+				kept = append(kept, d)
+				break
+			}
+		}
+	}
+	return kept
+}

@@ -1,0 +1,272 @@
+// Package analysis is a small, zero-dependency static-analysis framework
+// (stdlib go/ast + go/parser + go/token only) carrying the repo-specific
+// analyzers that mechanically enforce the simulator's invariants:
+//
+//   - mapiter: no ranging over maps in the deterministic engine packages
+//     (internal/sim, internal/core, internal/witness, internal/paths)
+//     unless the keys are collected and sorted first — the paper's
+//     guarantees are proved for a deterministic contention-resolution
+//     machine, and map iteration order would silently break the
+//     byte-for-byte engine == reference pinning.
+//   - globalrand: no math/rand, time.Now, or os.Getenv in the
+//     deterministic packages; all randomness flows through internal/rng.
+//   - hotpath: no make / new / map or slice literals / capturing closures
+//     / non-self appends inside functions marked //optlint:hotpath — the
+//     engine step path pinned to 0 allocs/op by TestSteadyStateAllocFree.
+//   - probeguard: every call through a telemetry Probe field is dominated
+//     by a nil check, preserving the nil-probe zero-cost contract.
+//   - floateq: no == or != on floating-point operands in internal/stats
+//     and internal/experiments.
+//   - docs: every exported symbol has a doc comment and every package has
+//     a package comment (migrated from the original lint_test.go).
+//
+// Findings are suppressed with //optlint:allow directives (see suppress.go):
+// a directive above or on the offending line scopes to that line; a
+// directive before the package clause scopes to the whole file. Directives
+// naming an unknown analyzer are themselves diagnostics, so suppressions
+// cannot silently outlive the checks they disable.
+//
+// Run the suite with `go run ./cmd/optlint ./...`; the repo-wide
+// TestOptlintClean gate keeps `go test ./...` enforcing it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic as "file:line:col: [analyzer] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer's view of one package: the parsed files plus
+// reporting plumbing. Analyzers are purely syntactic; PkgPath carries the
+// import path so package-scoped rules can be expressed by the runner.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	PkgName string
+	PkgPath string
+
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check. Packages restricts where it runs: a list
+// of import-path suffixes (e.g. "internal/sim"); empty means every
+// package.
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Packages []string
+	Run      func(*Pass)
+}
+
+// appliesTo reports whether the analyzer runs on the given import path.
+func (a *Analyzer) appliesTo(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, suffix := range a.Packages {
+		if pkgPath == suffix || hasPathSuffix(pkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	return len(path) > len(suffix) && path[len(path)-len(suffix):] == suffix &&
+		path[len(path)-len(suffix)-1] == '/'
+}
+
+// All returns the full registered analyzer suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, GlobalRand, HotPath, ProbeGuard, FloatEq, Docs}
+}
+
+// Lint runs the given analyzers over one package's files, applies the
+// //optlint:allow suppression directives, checks directives for unknown
+// analyzer names, and returns the surviving diagnostics sorted by
+// position. The known-name check always uses the full registry from All,
+// so a fixture run of a single analyzer still accepts suppressions naming
+// the others.
+func Lint(fset *token.FileSet, files []*ast.File, pkgPath string, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sup := collectDirectives(fset, files, known, report)
+
+	pkgName := ""
+	if len(files) > 0 {
+		pkgName = files[0].Name.Name
+	}
+	for _, a := range analyzers {
+		if !a.appliesTo(pkgPath) {
+			continue
+		}
+		pass := &Pass{
+			Fset:     fset,
+			Files:    files,
+			PkgName:  pkgName,
+			PkgPath:  pkgPath,
+			analyzer: a,
+			report:   report,
+		}
+		a.Run(pass)
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != directiveAnalyzerName && sup.suppressed(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// exprString renders the identifier / selector chains the analyzers care
+// about ("e.probe", "cfg.Probe", "m"); other expressions collapse to a
+// placeholder, which is fine for message text and receiver matching.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	}
+	return "<expr>"
+}
+
+// walkStack visits every node under root, passing the ancestor stack
+// (outermost first, not including n itself). Return false from f to skip
+// the node's children.
+func walkStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := f(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// universe is the set of predeclared Go identifiers, used by the
+// free-variable scan in the hotpath closure check.
+var universe = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true,
+	"complex": true, "copy": true, "delete": true, "imag": true,
+	"len": true, "make": true, "max": true, "min": true, "new": true,
+	"panic": true, "print": true, "println": true, "real": true,
+	"recover": true, "bool": true, "byte": true, "comparable": true,
+	"complex64": true, "complex128": true, "error": true, "float32": true,
+	"float64": true, "int": true, "int8": true, "int16": true,
+	"int32": true, "int64": true, "rune": true, "string": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true,
+	"uint64": true, "uintptr": true, "any": true, "true": true,
+	"false": true, "iota": true, "nil": true, "_": true,
+}
+
+// packageDecls returns every top-level declared name plus the per-file
+// import names across the pass's files; identifiers in this set are not
+// closure captures.
+func packageDecls(files []*ast.File) map[string]bool {
+	decls := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			decls[importName(imp)] = true
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					decls[d.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						decls[s.Name.Name] = true
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							decls[n.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// importName returns the name an import is referred to by in source.
+func importName(imp *ast.ImportSpec) string {
+	if imp.Name != nil {
+		return imp.Name.Name
+	}
+	path := imp.Path.Value
+	path = path[1 : len(path)-1] // strip quotes
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,200 @@
+package analysis_test
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the expected.golden fixture files")
+
+// fixtureRuns pairs each testdata directory with the analyzer under test
+// and the synthetic import path the fixture package pretends to live at
+// (package-scoped analyzers match on import-path suffixes).
+var fixtureRuns = []struct {
+	dir       string
+	pkgPath   string
+	analyzers []*analysis.Analyzer
+}{
+	{"mapiter", "example.com/mod/internal/sim", []*analysis.Analyzer{analysis.MapIter}},
+	{"globalrand", "example.com/mod/internal/core", []*analysis.Analyzer{analysis.GlobalRand}},
+	{"hotpath", "example.com/mod/internal/sim", []*analysis.Analyzer{analysis.HotPath}},
+	{"probeguard", "example.com/mod/internal/telemetry", []*analysis.Analyzer{analysis.ProbeGuard}},
+	{"floateq", "example.com/mod/internal/stats", []*analysis.Analyzer{analysis.FloatEq}},
+	{"docs", "example.com/mod/internal/fixtures", []*analysis.Analyzer{analysis.Docs}},
+	{"directives", "example.com/mod/internal/fixtures", nil},
+}
+
+// lintFixtureDir parses every .go file of one testdata directory (with
+// base-name filenames, so golden positions are path-independent) and runs
+// Lint over them as a single package.
+func lintFixtureDir(t *testing.T, dir, pkgPath string, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	return analysis.Lint(fset, files, pkgPath, analyzers)
+}
+
+// TestAnalyzerGoldenFiles lints each fixture package and compares the
+// rendered diagnostics to its expected.golden, byte for byte. Run with
+// -update to regenerate the golden files after changing an analyzer.
+func TestAnalyzerGoldenFiles(t *testing.T) {
+	for _, run := range fixtureRuns {
+		t.Run(run.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", run.dir)
+			diags := lintFixtureDir(t, dir, run.pkgPath, run.analyzers)
+			var b strings.Builder
+			for _, d := range diags {
+				fmt.Fprintln(&b, d)
+			}
+			got := b.String()
+
+			golden := filepath.Join(dir, "expected.golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", run.dir, got, want)
+			}
+
+			// Structural guards against fixture rot: hits must come from
+			// hit.go only — never from clean.go or suppressed.go.
+			sawHit := false
+			for _, d := range diags {
+				switch d.Pos.Filename {
+				case "hit.go":
+					sawHit = true
+				default:
+					t.Errorf("diagnostic attributed to %s; all fixture hits belong in hit.go: %s", d.Pos.Filename, d)
+				}
+			}
+			if !sawHit {
+				t.Errorf("fixture %s produced no diagnostics from hit.go", run.dir)
+			}
+		})
+	}
+}
+
+// TestUnknownAllowNameIsDiagnostic pins the no-dead-suppressions rule: an
+// //optlint:allow naming an analyzer that does not exist is itself a
+// finding, so suppressions cannot silently outlive their checks.
+func TestUnknownAllowNameIsDiagnostic(t *testing.T) {
+	const src = `package p
+
+//optlint:allow vanished this analyzer was deleted long ago
+func f() {}
+`
+	diags := lintSource(t, "p.go", src, "example.com/p", nil)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "optlint" {
+		t.Errorf("diagnostic analyzer = %q, want %q", d.Analyzer, "optlint")
+	}
+	if !strings.Contains(d.Message, `unknown analyzer "vanished"`) {
+		t.Errorf("diagnostic message %q does not name the unknown analyzer", d.Message)
+	}
+}
+
+// TestDirectiveDiagnosticsCannotBeSuppressed checks that an allow naming
+// "optlint" does not silence the directive checker — it is reported as an
+// unknown analyzer name instead.
+func TestDirectiveDiagnosticsCannotBeSuppressed(t *testing.T) {
+	const src = `package p
+
+//optlint:allow optlint quiet please
+func f() {}
+`
+	diags := lintSource(t, "p.go", src, "example.com/p", nil)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `unknown analyzer "optlint"`) {
+		t.Errorf("diagnostic message %q, want unknown-analyzer report", diags[0].Message)
+	}
+}
+
+// TestFileScopedAllowDirective checks that a directive placed before the
+// package clause suppresses the named analyzer for the whole file.
+func TestFileScopedAllowDirective(t *testing.T) {
+	const src = `//optlint:allow floateq fixture-wide: exact comparisons are the point here
+
+// Package p is a float-comparison playground.
+package p
+
+func f(a float64) bool { return a == 1.0 }
+
+func g(b float64) bool { return b != 2.0 }
+`
+	diags := lintSource(t, "p.go", src, "example.com/mod/internal/stats",
+		[]*analysis.Analyzer{analysis.FloatEq})
+	if len(diags) != 0 {
+		t.Errorf("file-scoped allow left %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestMissingPackageComment checks the docs analyzer's package-level rule.
+func TestMissingPackageComment(t *testing.T) {
+	const src = `package p
+
+// f is documented but the package is not.
+func f() {}
+`
+	diags := lintSource(t, "p.go", src, "example.com/p",
+		[]*analysis.Analyzer{analysis.Docs})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no package comment") {
+		t.Errorf("got %v, want one missing-package-comment diagnostic", diags)
+	}
+}
+
+func lintSource(t *testing.T, filename, src, pkgPath string, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Lint(fset, []*ast.File{f}, pkgPath, analyzers)
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Docs enforces the repo's documentation gate, migrated from the original
+// lint_test.go: every exported declaration carries a doc comment, and
+// every package carries a package comment on at least one file. This
+// keeps the "documented public API" deliverable honest through refactors.
+var Docs = &Analyzer{
+	Name: "docs",
+	Doc:  "exported symbols and packages must have doc comments",
+	Run:  runDocs,
+}
+
+func runDocs(p *Pass) {
+	documented := false
+	for _, f := range p.Files {
+		if f.Doc != nil {
+			documented = true
+		}
+		for _, decl := range f.Decls {
+			checkDeclDocs(p, decl)
+		}
+	}
+	if !documented && len(p.Files) > 0 {
+		p.Reportf(p.Files[0].Name.Pos(), "package %s has no package comment", p.PkgName)
+	}
+}
+
+func checkDeclDocs(p *Pass, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			p.Reportf(d.Pos(), "exported func %s has no doc comment", d.Name.Name)
+		}
+	case *ast.GenDecl:
+		if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+			return
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					p.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						p.Reportf(name.Pos(), "exported %s %s has no doc comment", d.Tok, name.Name)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// ExampleLint runs the mapiter analyzer over one file of a deterministic
+// engine package and prints the findings.
+func ExampleLint() {
+	const src = `package sim
+
+type engine struct {
+	waiting map[int]bool
+}
+
+func (e *engine) count() int {
+	n := 0
+	for range e.waiting {
+		n++
+	}
+	return n
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "engine.go", src, parser.ParseComments)
+	if err != nil {
+		panic(err)
+	}
+	diags := analysis.Lint(fset, []*ast.File{f}, "example.com/mod/internal/sim",
+		[]*analysis.Analyzer{analysis.MapIter})
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	// Output:
+	// engine.go:9:2: [mapiter] range over map e.waiting in deterministic package example.com/mod/internal/sim: iteration order is randomized; collect and sort the keys, or annotate //optlint:allow mapiter with why order cannot matter
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// HotPath reports heap-allocating constructs inside functions whose doc
+// comment carries the //optlint:hotpath directive — the engine step path
+// that TestSteadyStateAllocFree pins to 0 allocs/op. Flagged: make, new,
+// map and slice literals, closures that capture variables (non-capturing
+// function literals are static and free), and append calls that are not
+// the self-append reuse idiom `x = append(x, ...)` (growth of a pooled
+// buffer is amortized; growth of a fresh slice is a per-call allocation).
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "no allocating constructs in //optlint:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	decls := packageDecls(p.Files)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasHotPathDirective(fn) {
+				continue
+			}
+			checkHotFunc(p, fn, decls)
+		}
+	}
+}
+
+// hasHotPathDirective reports whether fn's doc comment contains the
+// //optlint:hotpath marker line.
+func hasHotPathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(p *Pass, fn *ast.FuncDecl, decls map[string]bool) {
+	name := fn.Name.Name
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch id.Name {
+			case "make":
+				p.Reportf(n.Pos(), "hot path %s calls make: allocates every call; reuse a pooled buffer", name)
+			case "new":
+				p.Reportf(n.Pos(), "hot path %s calls new: allocates every call; reuse a pooled object", name)
+			case "append":
+				if !isSelfAppend(n, stack) {
+					p.Reportf(n.Pos(), "hot path %s: append is not the self-append reuse idiom `x = append(x, ...)`; growth of a fresh slice allocates", name)
+				}
+			}
+		case *ast.CompositeLit:
+			switch t := n.Type.(type) {
+			case *ast.MapType:
+				p.Reportf(n.Pos(), "hot path %s: map literal allocates", name)
+			case *ast.ArrayType:
+				if t.Len == nil {
+					p.Reportf(n.Pos(), "hot path %s: slice literal allocates", name)
+				}
+			}
+		case *ast.FuncLit:
+			if caps := capturedVars(n, decls); len(caps) > 0 {
+				p.Reportf(n.Pos(), "hot path %s: closure captures %s and may allocate; hoist the state or pass it as a parameter", name, strings.Join(caps, ", "))
+			}
+		}
+		return true
+	})
+}
+
+// isSelfAppend reports whether the append call sits in a statement of the
+// form `x = append(x, ...)` (or `x := append(x, ...)`), the capacity-reuse
+// idiom whose growth is amortized across runs.
+func isSelfAppend(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		as, ok := stack[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Rhs[0] != ast.Expr(call) {
+			return false
+		}
+		if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+			return false
+		}
+		return exprString(as.Lhs[0]) == exprString(call.Args[0])
+	}
+	return false
+}
+
+// capturedVars returns the free variables of the function literal: names
+// used inside it that are neither declared within it, nor predeclared,
+// nor package-level. A closure with no free variables compiles to a
+// static function value and never allocates.
+func capturedVars(fl *ast.FuncLit, pkgDecls map[string]bool) []string {
+	declared := map[string]bool{}
+	addFieldList := func(list *ast.FieldList) {
+		if list == nil {
+			return
+		}
+		for _, fld := range list.List {
+			for _, name := range fld.Names {
+				declared[name.Name] = true
+			}
+		}
+	}
+	addFieldList(fl.Type.Params)
+	addFieldList(fl.Type.Results)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						declared[id.Name] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					declared[id.Name] = true
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					declared[id.Name] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				declared[name.Name] = true
+			}
+		case *ast.FuncLit:
+			addFieldList(n.Type.Params)
+			addFieldList(n.Type.Results)
+		}
+		return true
+	})
+
+	used := map[string]bool{}
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.SelectorExpr:
+				scan(m.X) // never treat the .Sel field name as a variable
+				return false
+			case *ast.KeyValueExpr:
+				// Struct-literal field keys are not variable uses; map keys
+				// that are idents are rare enough to accept the miss.
+				scan(m.Value)
+				return false
+			case *ast.Ident:
+				used[m.Name] = true
+			}
+			return true
+		})
+	}
+	scan(fl.Body)
+
+	var caps []string
+	for name := range used {
+		if declared[name] || universe[name] || pkgDecls[name] {
+			continue
+		}
+		caps = append(caps, name)
+	}
+	sort.Strings(caps)
+	return caps
+}

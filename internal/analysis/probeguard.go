@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ProbeGuard reports calls through a telemetry probe — any method call
+// whose receiver is a field or variable named probe/Probe — that are not
+// dominated by a nil check on that exact receiver. The telemetry contract
+// (PR 2) is that a nil probe costs one predictable branch per hook site
+// and never panics; an unguarded call breaks both halves.
+var ProbeGuard = &Analyzer{
+	Name: "probeguard",
+	Doc:  "every Probe method call must be dominated by a nil check",
+	Run:  runProbeGuard,
+}
+
+func runProbeGuard(p *Pass) {
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := sel.X
+			if !isProbeExpr(recv) {
+				return true
+			}
+			if !dominatedByNilCheck(call, recv, stack) {
+				p.Reportf(call.Pos(),
+					"call to %s.%s is not dominated by an `if %s != nil` check; a nil probe must cost one branch, not a panic",
+					exprString(recv), sel.Sel.Name, exprString(recv))
+			}
+			return true
+		})
+	}
+}
+
+// isProbeExpr reports whether the expression names a probe: a bare
+// identifier or a field selector whose final name is probe or Probe.
+func isProbeExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name == "probe" || x.Name == "Probe"
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "probe" || x.Sel.Name == "Probe"
+	case *ast.ParenExpr:
+		return isProbeExpr(x.X)
+	}
+	return false
+}
+
+// dominatedByNilCheck reports whether the call lies inside the then-branch
+// of an if whose condition is `recv != nil` (possibly conjoined with other
+// conditions via &&), or the else-branch of `recv == nil`.
+func dominatedByNilCheck(call *ast.CallExpr, recv ast.Expr, stack []ast.Node) bool {
+	want := exprString(recv)
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		inBody := within(call, ifs.Body)
+		inElse := ifs.Else != nil && within(call, ifs.Else)
+		if inBody && condChecksNotNil(ifs.Cond, want) {
+			return true
+		}
+		if inElse && condChecksIsNil(ifs.Cond, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// within reports whether node n's source range lies inside container's.
+func within(n, container ast.Node) bool {
+	return n.Pos() >= container.Pos() && n.End() <= container.End()
+}
+
+// condChecksNotNil reports whether cond guarantees `want != nil` when it
+// evaluates true: the comparison itself, or an && conjunction containing it.
+func condChecksNotNil(cond ast.Expr, want string) bool {
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.NEQ:
+			return isNilCompare(c, want)
+		case token.LAND:
+			return condChecksNotNil(c.X, want) || condChecksNotNil(c.Y, want)
+		}
+	case *ast.ParenExpr:
+		return condChecksNotNil(c.X, want)
+	}
+	return false
+}
+
+// condChecksIsNil reports whether cond is exactly `want == nil`, so the
+// else branch guarantees non-nil.
+func condChecksIsNil(cond ast.Expr, want string) bool {
+	c, ok := cond.(*ast.BinaryExpr)
+	return ok && c.Op == token.EQL && isNilCompare(c, want)
+}
+
+// isNilCompare reports whether the binary comparison has nil on one side
+// and an expression printing as want on the other.
+func isNilCompare(c *ast.BinaryExpr, want string) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if isNil(c.Y) {
+		return exprString(c.X) == want
+	}
+	if isNil(c.X) {
+		return exprString(c.Y) == want
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directiveAnalyzerName labels diagnostics produced by the directive
+// parser itself (malformed or unknown //optlint: directives). They cannot
+// be suppressed.
+const directiveAnalyzerName = "optlint"
+
+const (
+	allowPrefix   = "//optlint:allow"
+	hotpathMarker = "//optlint:hotpath"
+)
+
+// suppressions records which analyzer names are allowed where: per whole
+// file, and per (file, line). A line directive covers its own line and
+// the one immediately below it, so it works both trailing the offending
+// statement and on a comment line directly above it.
+type suppressions struct {
+	file map[string]map[string]bool
+	line map[string]map[int]map[string]bool
+}
+
+// suppressed reports whether diagnostic d is covered by a directive.
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	if s.file[d.Pos.Filename][d.Analyzer] {
+		return true
+	}
+	return s.line[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+}
+
+// collectDirectives parses every //optlint: comment in the files. Allow
+// directives before the package clause scope to the whole file; all
+// others scope to their line and the next. Unknown analyzer names,
+// missing names, and unrecognized //optlint: verbs are reported through
+// report so suppressions can never silently outlive their analyzer.
+func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool, report func(Diagnostic)) *suppressions {
+	sup := &suppressions{
+		file: map[string]map[string]bool{},
+		line: map[string]map[int]map[string]bool{},
+	}
+	bad := func(pos token.Pos, format string, args ...any) {
+		report(Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: directiveAnalyzerName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//optlint:") {
+					continue
+				}
+				if text == hotpathMarker {
+					continue // consumed by the hotpath analyzer
+				}
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					verb := strings.TrimPrefix(text, "//optlint:")
+					if i := strings.IndexAny(verb, " \t"); i >= 0 {
+						verb = verb[:i]
+					}
+					bad(c.Pos(), "unknown optlint directive %q (known: allow, hotpath)", verb)
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad(c.Pos(), "optlint:allow directive names no analyzer")
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				pos := fset.Position(c.Pos())
+				fileScoped := c.End() < f.Package
+				for _, name := range names {
+					if !known[name] {
+						bad(c.Pos(), "optlint:allow names unknown analyzer %q", name)
+						continue
+					}
+					if fileScoped {
+						m := sup.file[pos.Filename]
+						if m == nil {
+							m = map[string]bool{}
+							sup.file[pos.Filename] = m
+						}
+						m[name] = true
+						continue
+					}
+					lines := sup.line[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						sup.line[pos.Filename] = lines
+					}
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						m := lines[ln]
+						if m == nil {
+							m = map[string]bool{}
+							lines[ln] = m
+						}
+						m[name] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}

@@ -1,0 +1,18 @@
+// Package fixtures exercises the optlint directive parser itself: dead
+// suppressions, nameless directives, and unknown verbs are diagnostics.
+package fixtures
+
+//optlint:allow nosuchanalyzer this suppression is dead and must be reported
+func deadSuppression() {}
+
+//optlint:allow
+func namelessDirective() {}
+
+//optlint:frobnicate
+func unknownVerb() {}
+
+//optlint:allow optlint directive diagnostics themselves cannot be silenced
+func selfSuppression() {}
+
+//optlint:allow mapiter,probeguard two known names parse fine and report nothing
+func knownNames() {}

@@ -1,0 +1,11 @@
+// Package fixtures exercises the docs analyzer: exported declarations
+// without doc comments must be reported.
+package fixtures
+
+// Documented is exported and carries a doc comment.
+const Documented = 1
+
+// Helper is exported and carries a doc comment.
+func Helper() {}
+
+func unexportedNeedsNoDoc() {}

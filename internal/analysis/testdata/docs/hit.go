@@ -1,0 +1,9 @@
+package fixtures
+
+const Exported = 2
+
+type Widget struct{}
+
+func Run() {}
+
+var Count int

@@ -1,0 +1,4 @@
+package fixtures
+
+//optlint:allow docs internal experiment knob, deliberately undocumented
+var Knob int

@@ -1,0 +1,13 @@
+package fixtures
+
+func near(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+func intEq(a, b int) bool {
+	return a == b
+}

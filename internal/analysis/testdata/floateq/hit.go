@@ -1,0 +1,14 @@
+// Package fixtures exercises the floateq analyzer: exact ==/!= with a
+// floating-point operand in stats/experiments code must be reported.
+package fixtures
+
+type summary struct {
+	Mean float64
+}
+
+func degenerate(x float64, s summary) bool {
+	if x == 0.5 {
+		return true
+	}
+	return s.Mean != x
+}

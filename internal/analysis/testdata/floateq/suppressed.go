@@ -1,0 +1,6 @@
+package fixtures
+
+func exactZeroGuard(sum float64) bool {
+	//optlint:allow floateq sum of squares is exactly zero iff every term is zero
+	return sum == 0
+}

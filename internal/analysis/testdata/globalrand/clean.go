@@ -1,0 +1,8 @@
+package fixtures
+
+func deterministicDraw(state *uint64) uint64 {
+	*state ^= *state << 13
+	*state ^= *state >> 7
+	*state ^= *state << 17
+	return *state
+}

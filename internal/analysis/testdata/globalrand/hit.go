@@ -1,0 +1,16 @@
+// Package fixtures exercises the globalrand analyzer: math/rand imports
+// and ambient-state calls in a deterministic package must be reported.
+package fixtures
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func seedFromAmbientState() int64 {
+	if os.Getenv("SEED") != "" {
+		return time.Now().UnixNano()
+	}
+	return rand.Int63()
+}

@@ -1,0 +1,8 @@
+package fixtures
+
+import "time"
+
+func wallClockLabel() int64 {
+	//optlint:allow globalrand wall-clock value labels log output only; never enters the engine
+	return time.Now().Unix()
+}

@@ -1,0 +1,21 @@
+package fixtures
+
+// tick is hot and allocation-free: self-append reuse and a non-capturing
+// function literal are both allowed.
+//
+//optlint:hotpath
+func tick(buf []int, x int) []int {
+	buf = buf[:0]
+	buf = append(buf, x)
+	less := func(a, b int) bool { return a < b }
+	if less(x, 0) {
+		buf[0] = -x
+	}
+	return buf
+}
+
+// setup is not marked hot; allocations here are nobody's business.
+func setup(n int) []int {
+	out := make([]int, n)
+	return append(out, n)
+}

@@ -1,0 +1,20 @@
+// Package fixtures exercises the hotpath analyzer: every allocating
+// construct inside a //optlint:hotpath function must be reported.
+package fixtures
+
+// step is marked hot and violates every allocation rule once.
+//
+//optlint:hotpath
+func step(buf []int, n int) int {
+	tmp := make([]int, n)
+	seen := map[int]bool{n: true}
+	pair := []int{n, n + 1}
+	grown := append(tmp, pair...)
+	ptr := new(int)
+	capture := func() int { return n }
+	if seen[n] {
+		*ptr = grown[0]
+	}
+	buf = append(buf, capture())
+	return buf[0] + *ptr
+}

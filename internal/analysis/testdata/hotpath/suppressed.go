@@ -1,0 +1,12 @@
+package fixtures
+
+// grow is hot; its one allocation is capacity-guarded and justified.
+//
+//optlint:hotpath
+func grow(buf []byte, need int) []byte {
+	if cap(buf) < need {
+		//optlint:allow hotpath capacity-guarded growth happens once per larger run
+		buf = make([]byte, need)
+	}
+	return buf[:need]
+}

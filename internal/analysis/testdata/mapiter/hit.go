@@ -1,0 +1,26 @@
+// Package fixtures exercises the mapiter analyzer: ranging over a map in
+// a deterministic package without sorting the keys first must be reported.
+package fixtures
+
+type registry struct {
+	weights map[string]int
+}
+
+func (r *registry) total() int {
+	sum := 0
+	// Hit: iteration over a map-typed struct field, order-dependent or not.
+	for _, w := range r.weights {
+		sum += w
+	}
+	return sum
+}
+
+func collectedButNeverSorted() []string {
+	m := make(map[string]bool)
+	var out []string
+	// Hit: keys are collected but no sort call follows in this block.
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package fixtures
+
+func (e *engine) guarded() {
+	if e.probe != nil {
+		e.probe.OnStep(e.tick)
+	}
+	if e.tick > 0 && e.probe != nil {
+		e.probe.OnStep(0)
+	}
+	if e.probe == nil {
+		e.tick = 0
+	} else {
+		e.probe.OnStep(1)
+	}
+}

@@ -1,0 +1,27 @@
+// Package fixtures exercises the probeguard analyzer: a call through a
+// probe field or variable must be dominated by a nil check on it.
+package fixtures
+
+type tracer interface {
+	OnStep(tick int)
+}
+
+type engine struct {
+	probe tracer
+	tick  int
+}
+
+func (e *engine) step() {
+	e.tick++
+	e.probe.OnStep(e.tick)
+}
+
+func fireUnchecked(probe tracer) {
+	probe.OnStep(0)
+}
+
+func wrongGuard(e *engine, other *engine) {
+	if other.probe != nil {
+		e.probe.OnStep(0)
+	}
+}

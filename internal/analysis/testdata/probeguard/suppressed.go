@@ -1,0 +1,6 @@
+package fixtures
+
+func fireSuppressed(probe tracer) {
+	//optlint:allow probeguard constructor guarantees a non-nil probe here
+	probe.OnStep(0)
+}

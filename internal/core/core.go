@@ -460,9 +460,7 @@ func residualCongestion(c *paths.Collection, active []int) int {
 	best := 0
 	seen := make(map[int]bool)
 	for _, idx := range active {
-		for k := range seen {
-			delete(seen, k)
-		}
+		clear(seen)
 		count := 0
 		for _, id := range c.PathLinks(idx) {
 			for _, j := range c.LinkUsers(graph.LinkID(id)) {

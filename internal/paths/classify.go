@@ -1,6 +1,8 @@
 package paths
 
 import (
+	"sort"
+
 	"repro/internal/graph"
 )
 
@@ -23,14 +25,26 @@ func (c *Collection) LevelAssignment() (levels []int, ok bool) {
 		to    graph.NodeID
 		delta int
 	}
-	adj := make(map[graph.NodeID][]constraint)
+	// Iterate links in sorted ID order (the map's random order would vary
+	// the BFS visit order below; the levels are forced either way, but the
+	// traversal should be deterministic by construction).
+	ids := make([]graph.LinkID, 0, len(c.linkUsers))
 	for id := range c.linkUsers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	adj := make(map[graph.NodeID][]constraint)
+	for _, id := range ids {
 		l := g.Link(id)
 		adj[l.From] = append(adj[l.From], constraint{to: l.To, delta: 1})
 		adj[l.To] = append(adj[l.To], constraint{to: l.From, delta: -1})
 	}
 
-	for start := range adj {
+	for s := 0; s < n; s++ {
+		start := graph.NodeID(s)
+		if _, ok := adj[start]; !ok {
+			continue
+		}
 		if assigned[start] {
 			continue
 		}
@@ -95,6 +109,7 @@ func (c *Collection) IsShortCutFree() bool {
 	// Candidate path pairs: those sharing at least one node.
 	type pair struct{ a, b int }
 	cand := make(map[pair]bool)
+	//optlint:allow mapiter order-independent candidate-set build
 	for _, os := range occs {
 		for x := 0; x < len(os); x++ {
 			for y := 0; y < len(os); y++ {
@@ -111,6 +126,7 @@ func (c *Collection) IsShortCutFree() bool {
 			cand[pair{i, i}] = true
 		}
 	}
+	//optlint:allow mapiter pure conjunctive predicate: result independent of visit order
 	for pr := range cand {
 		if !shortcutFreePair(c.paths[pr.a], c.paths[pr.b], pr.a == pr.b) {
 			return false
@@ -187,6 +203,7 @@ func (c *Collection) MeetSeparateMeetFree() bool {
 			occ[u] = append(occ[u], i)
 		}
 	}
+	//optlint:allow mapiter pure conjunctive predicate: result independent of visit order
 	for _, ps := range occ {
 		for x := 0; x < len(ps); x++ {
 			for y := x + 1; y < len(ps); y++ {

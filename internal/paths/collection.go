@@ -122,6 +122,7 @@ func (c *Collection) Dilation() int {
 func (c *Collection) EdgeCongestion() int {
 	c.ensureLinkUsers()
 	max := 0
+	//optlint:allow mapiter order-independent max-reduction
 	for _, users := range c.linkUsers {
 		if len(users) > max {
 			max = len(users)
@@ -176,16 +177,17 @@ func (c *Collection) LinkUsers(id graph.LinkID) []int {
 }
 
 // SharePairs calls fn for every unordered pair (i, j), i < j, of distinct
-// paths that share at least one directed link. Each pair is reported once.
+// paths that share at least one directed link. Each pair is reported once,
+// in a deterministic order: ascending i, then the order in which j's
+// shared links appear along path i.
 func (c *Collection) SharePairs(fn func(i, j int)) {
 	c.ensureLinkUsers()
 	seen := make(map[uint64]bool)
-	for _, users := range c.linkUsers {
-		for a := 0; a < len(users); a++ {
-			for b := a + 1; b < len(users); b++ {
-				i, j := users[a], users[b]
-				if i > j {
-					i, j = j, i
+	for i := range c.paths {
+		for _, id := range c.links[i] {
+			for _, j := range c.linkUsers[id] {
+				if j <= i {
+					continue
 				}
 				key := uint64(i)<<32 | uint64(uint32(j))
 				if !seen[key] {

@@ -41,9 +41,7 @@ func (c *Collection) GreedyWavelengthAssignment() (colors []int, used int) {
 	taken := make(map[int]bool)
 	for _, i := range order {
 		// Collect colors taken by conflicting, already-colored paths.
-		for k := range taken {
-			delete(taken, k)
-		}
+		clear(taken)
 		for _, id := range c.links[i] {
 			for _, j := range c.linkUsers[id] {
 				if j != i && colors[j] >= 0 {

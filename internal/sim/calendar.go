@@ -14,6 +14,8 @@ type calendar struct {
 }
 
 // reset empties every bucket, keeping capacity for reuse.
+//
+//optlint:hotpath
 func (c *calendar) reset() {
 	for i := range c.buckets {
 		c.buckets[i] = c.buckets[i][:0]
@@ -22,6 +24,8 @@ func (c *calendar) reset() {
 }
 
 // add schedules fragment f to activate at step t >= 0.
+//
+//optlint:hotpath
 func (c *calendar) add(t int, f *fragment) {
 	for len(c.buckets) <= t {
 		c.buckets = append(c.buckets, nil)
@@ -32,6 +36,8 @@ func (c *calendar) add(t int, f *fragment) {
 
 // takeInto appends the fragments spawning at step t to dst, empties the
 // bucket, and returns the extended slice.
+//
+//optlint:hotpath
 func (c *calendar) takeInto(t int, dst []*fragment) []*fragment {
 	if t < 0 || t >= len(c.buckets) || len(c.buckets[t]) == 0 {
 		return dst
@@ -44,6 +50,8 @@ func (c *calendar) takeInto(t int, dst []*fragment) []*fragment {
 }
 
 // next returns the smallest spawn step >= t, scanning forward from t.
+//
+//optlint:hotpath
 func (c *calendar) next(t int) (int, bool) {
 	if c.pending == 0 {
 		return 0, false

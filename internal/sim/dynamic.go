@@ -226,9 +226,11 @@ func RunDynamic(g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Sour
 					next = s
 				}
 			}
+			//optlint:allow mapiter order-independent min-reduction over pending launch steps
 			for s := range launches {
 				consider(s)
 			}
+			//optlint:allow mapiter order-independent min-reduction over pending deadline steps
 			for s := range deadlines {
 				consider(s)
 			}

@@ -111,12 +111,15 @@ type occupant struct {
 	idx int // index into f.t.links
 }
 
+//optlint:hotpath
 func (e *Engine) key(band Band, link graph.LinkID, wavelength int) int {
 	return (int(band)*e.nLinks+int(link))*e.cfg.Bandwidth + wavelength
 }
 
 // waveAt returns the wavelength train tr uses on its link index i,
 // filling the conversion table with the carried wavelength on first use.
+//
+//optlint:hotpath
 func (e *Engine) waveAt(tr *train, i int) int {
 	if len(tr.waves) == 0 {
 		return tr.wavelength
@@ -132,12 +135,16 @@ func (e *Engine) waveAt(tr *train, i int) int {
 }
 
 // fragKey is the occupancy key of fragment f's link index i.
+//
+//optlint:hotpath
 func (e *Engine) fragKey(f *fragment, i int) int {
 	return e.key(f.t.band, f.t.links[i], e.waveAt(f.t, i))
 }
 
 // setOcc claims slot k for fragment f at link index idx (overwriting a
 // surrendered occupant, if any).
+//
+//optlint:hotpath
 func (e *Engine) setOcc(k int, f *fragment, idx int) {
 	if e.occ[k].f == nil {
 		e.occCount++
@@ -153,6 +160,8 @@ func (e *Engine) setOcc(k int, f *fragment, idx int) {
 }
 
 // delOcc frees slot k if fragment f still owns it.
+//
+//optlint:hotpath
 func (e *Engine) delOcc(k int, f *fragment) {
 	if e.occ[k].f == f {
 		e.occ[k] = occupant{}
@@ -170,6 +179,8 @@ func (e *Engine) delOcc(k int, f *fragment) {
 // slotCoords decomposes occupancy key k into its (band, link, wavelength)
 // coordinates for probe hooks, with a single division: the quotient
 // k/Bandwidth is band*nLinks+link, and band is 0 or 1.
+//
+//optlint:hotpath
 func (e *Engine) slotCoords(k int) (band, link, wave int) {
 	q := k / e.cfg.Bandwidth
 	wave = k - q*e.cfg.Bandwidth
@@ -183,12 +194,15 @@ func (e *Engine) slotCoords(k int) (band, link, wave int) {
 
 // begin resets the engine for a new run on graph g under cfg, with room
 // for nOutcomes outcome slots.
+//
+//optlint:hotpath
 func (e *Engine) begin(g *graph.Graph, cfg Config, nOutcomes int) {
 	e.g, e.cfg = g, cfg
 	e.nLinks = g.NumLinks()
 	e.msgSlots = e.nLinks * cfg.Bandwidth
 	need := 2 * e.msgSlots // message band + ack band
 	if cap(e.occ) < need {
+		//optlint:allow hotpath capacity-guarded growth: only the first run on a larger graph allocates
 		e.occ = make([]occupant, need)
 	} else {
 		e.occ = e.occ[:need]
@@ -302,6 +316,7 @@ func Run(g *graph.Graph, worms []Worm, cfg Config) (*Result, error) {
 	return NewEngine().Run(g, worms, cfg)
 }
 
+//optlint:hotpath
 func (e *Engine) addTrain(tr *train) {
 	tr.waves = tr.waves[:0]
 	if e.cfg.Conversion != nil {
@@ -314,6 +329,8 @@ func (e *Engine) addTrain(tr *train) {
 }
 
 // step advances the simulation by one time step.
+//
+//optlint:hotpath
 func (e *Engine) step(t int) {
 	e.now = t
 	// 1. Releases: free links the tails have passed; detect completion.
@@ -488,6 +505,8 @@ func (e *Engine) step(t int) {
 
 // release frees links the fragment's tail has passed, and completes the
 // fragment when everything has drained or been delivered.
+//
+//optlint:hotpath
 func (e *Engine) release(f *fragment, t int) {
 	limit := f.limit()
 	lo := f.lo(t)
@@ -509,6 +528,8 @@ func (e *Engine) release(f *fragment, t int) {
 }
 
 // complete handles a fragment whose flits have all drained or exited.
+//
+//optlint:hotpath
 func (e *Engine) complete(f *fragment, t int) {
 	tr := f.t
 	// A full delivery needs the intact original fragment of an uncut train.
@@ -558,6 +579,8 @@ func (e *Engine) complete(f *fragment, t int) {
 // loseEntrant handles an entrant that lost its conflict: it is deferred
 // for a wavelength-conversion attempt when the router at the link's tail
 // supports conversion, and cut otherwise.
+//
+//optlint:hotpath
 func (e *Engine) loseEntrant(f *fragment, idx, t int, blocker *train) {
 	if e.cfg.Conversion != nil && e.cfg.Bandwidth > 1 &&
 		e.cfg.Conversion(e.g.Link(f.t.links[idx]).From) {
@@ -569,6 +592,8 @@ func (e *Engine) loseEntrant(f *fragment, idx, t int, blocker *train) {
 
 // cutEntrant handles a fragment whose head flit was eliminated while
 // entering links[idx].
+//
+//optlint:hotpath
 func (e *Engine) cutEntrant(f *fragment, idx, t int, blocker *train) {
 	e.recordCut(f, idx, t, blocker)
 	jCut := f.jMin // the entering flit is the fragment's head
@@ -577,12 +602,15 @@ func (e *Engine) cutEntrant(f *fragment, idx, t int, blocker *train) {
 
 // cutIncumbent handles a fragment preempted (Priority rule) at links[idx],
 // which it currently occupies.
+//
+//optlint:hotpath
 func (e *Engine) cutIncumbent(f *fragment, idx, t int, blocker *train) {
 	e.recordCut(f, idx, t, blocker)
 	jCut := t - f.t.start - idx
 	e.split(f, idx, jCut, t, true)
 }
 
+//optlint:hotpath
 func (e *Engine) recordCut(f *fragment, idx, t int, blocker *train) {
 	tr := f.t
 	tr.cut = true
@@ -616,6 +644,8 @@ func (e *Engine) recordCut(f *fragment, idx, t int, blocker *train) {
 // split applies a cut at path index cutIdx destroying flit jCut. When
 // occupiedCut is true the fragment currently occupies links[cutIdx] (a
 // preempted incumbent); its occupancy there is surrendered to the caller.
+//
+//optlint:hotpath
 func (e *Engine) split(f *fragment, cutIdx, jCut, t int, occupiedCut bool) {
 	f.gone = true
 	if e.probe != nil {
@@ -676,6 +706,8 @@ func (e *Engine) split(f *fragment, cutIdx, jCut, t int, occupiedCut bool) {
 }
 
 // reassign moves occupancy entries for links [from, to] from old to nw.
+//
+//optlint:hotpath
 func (e *Engine) reassign(old, nw *fragment, from, to int) {
 	if from < 0 {
 		from = 0
@@ -734,14 +766,23 @@ func (e *Engine) checkInvariants(t int) error {
 	if msgCount != e.occMsg {
 		return fmt.Errorf("sim: step %d: message-band slot count %d != tracked %d", t, msgCount, e.occMsg)
 	}
-	// Fragments of one train must not overlap in flit ranges.
+	// Fragments of one train must not overlap in flit ranges. Trains are
+	// regrouped in first-seen order (slice + membership map) so this check
+	// — and any error it reports — is deterministic by construction; a
+	// pointer-keyed map range here would visit trains in random order.
 	byTrain := make(map[*train][]*fragment)
+	var trains []*train
 	for _, f := range e.active {
-		if !f.gone {
-			byTrain[f.t] = append(byTrain[f.t], f)
+		if f.gone {
+			continue
 		}
+		if _, ok := byTrain[f.t]; !ok {
+			trains = append(trains, f.t)
+		}
+		byTrain[f.t] = append(byTrain[f.t], f)
 	}
-	for tr, fs := range byTrain {
+	for _, tr := range trains {
+		fs := byTrain[tr]
 		for a := 0; a < len(fs); a++ {
 			for b := a + 1; b < len(fs); b++ {
 				if fs[a].jMin <= fs[b].jMax && fs[b].jMin <= fs[a].jMax {

@@ -351,6 +351,7 @@ func (r *refEngine) step(t int) {
 	r.live = stillLive
 	msgBusy := 0
 	msgSlots := int64(r.g.NumLinks()) * int64(r.cfg.Bandwidth)
+	//optlint:allow mapiter order-independent count of keys below msgSlots
 	for k := range r.prev {
 		if k < msgSlots {
 			msgBusy++

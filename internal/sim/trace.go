@@ -76,6 +76,7 @@ func (tl *Timeline) Render(w io.Writer, band Band) {
 		wave int
 	}
 	rows := map[rowKey]bool{}
+	//optlint:allow mapiter order-independent set build; rows are sorted below
 	for k := range tl.cells {
 		if k.band == band {
 			rows[rowKey{link: k.link, wave: k.wave}] = true

@@ -169,11 +169,13 @@ func FitLinear(xs, ys []float64) (LinearFit, error) {
 		sxy += dx * dy
 		syy += dy * dy
 	}
+	//optlint:allow floateq exact-zero degeneracy guard: sum of squares is 0 iff every dx is 0
 	if sxx == 0 {
 		return LinearFit{}, errors.New("stats: FitLinear degenerate x sample")
 	}
 	slope := sxy / sxx
 	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	//optlint:allow floateq exact-zero degeneracy guard: sum of squares is 0 iff every dy is 0
 	if syy == 0 {
 		fit.R2 = 1
 	} else {

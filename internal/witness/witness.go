@@ -53,6 +53,7 @@ func BuildRoundGraph(trace []sim.Collision) *RoundGraph {
 		}
 	}
 	g := &RoundGraph{Blocker: make(map[int]Edge, len(first))}
+	//optlint:allow mapiter order-independent map-to-map copy
 	for loser, c := range first {
 		g.Blocker[loser] = Edge{Blocker: c.Blocker, Time: c.Time}
 	}
@@ -74,6 +75,7 @@ func (g *RoundGraph) Losers() []int {
 func (g *RoundGraph) Roots() []int {
 	seen := make(map[int]bool)
 	var out []int
+	//optlint:allow mapiter set-membership dedup; out is sorted before returning
 	for _, e := range g.Blocker {
 		if _, failed := g.Blocker[e.Blocker]; !failed && !seen[e.Blocker] {
 			seen[e.Blocker] = true
@@ -215,14 +217,17 @@ func (g *RoundGraph) ComponentSizes() []int {
 			parent[ra] = rb
 		}
 	}
+	//optlint:allow mapiter union-find shape varies with order but component sizes do not
 	for l, e := range g.Blocker {
 		union(l, e.Blocker)
 	}
 	counts := make(map[int]int)
+	//optlint:allow mapiter order-independent per-component counting
 	for x := range parent {
 		counts[find(x)]++
 	}
 	sizes := make([]int, 0, len(counts))
+	//optlint:allow mapiter collects sizes; sorted descending below
 	for _, c := range counts {
 		sizes = append(sizes, c)
 	}
@@ -316,6 +321,7 @@ func (a *Analysis) WitnessTree(worm, depth int) [][]int {
 	for i := 1; i <= depth; i++ {
 		round := a.Rounds[depth-i]
 		next := make(map[int]bool, 2*len(cur))
+		//optlint:allow mapiter order-independent set expansion; levels are sorted by setToSlice
 		for w := range cur {
 			next[w] = true
 			if e, ok := round.Blocker[w]; ok {
