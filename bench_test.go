@@ -133,21 +133,27 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 }
 
 // TestSteadyStateAllocFree pins the zero-overhead contract of the probe
-// seam: a warm engine with no probe attached performs zero allocations per
-// round, and attaching a warmed Collector keeps it that way (the enabled
-// path only adds counter arithmetic).
+// and fault seams: a warm engine with no probe attached performs zero
+// allocations per round, attaching a warmed Collector keeps it that way
+// (the enabled path only adds counter arithmetic), and so does attaching
+// a compiled empty fault plan (the fault path is one nil branch).
 func TestSteadyStateAllocFree(t *testing.T) {
 	for _, tc := range []struct {
-		name  string
-		probe *optnet.Collector
+		name   string
+		probe  *optnet.Collector
+		faults bool
 	}{
-		{"probe=off", nil},
-		{"probe=on", optnet.NewCollector()},
+		{"probe=off", nil, false},
+		{"probe=on", optnet.NewCollector(), false},
+		{"faults=empty", nil, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			g, worms, cfg := simRoundWorkload(t, 8)
 			if tc.probe != nil {
 				cfg.Probe = tc.probe
+			}
+			if tc.faults {
+				cfg.Faults = (&optnet.FaultPlan{}).MustCompile(g, cfg.Bandwidth)
 			}
 			eng := sim.NewEngine()
 			if _, err := eng.Run(g, worms, cfg); err != nil {

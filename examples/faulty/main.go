@@ -1,0 +1,74 @@
+// Faulty demonstrates the fault-injection subsystem on a mesh: the same
+// workload is routed fault-free, through a mid-run link outage that
+// repairs before the protocol finishes, and through a permanent outage.
+// Degraded-mode rounds reroute still-active worms around links that are
+// down at round start; attempts that hit a dark link anyway simply miss
+// their acknowledgement and retry — the protocol's own backoff is the
+// recovery mechanism.
+//
+//	go run ./examples/faulty
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/optnet"
+)
+
+func main() {
+	net := optnet.Mesh(2, 8) // 64 nodes, dimension-order routes
+	wl := optnet.RandomFunction(net, 17)
+	stats, err := optnet.Analyze(net, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %s, workload: %s\n", net.Name(), wl.Name)
+	fmt.Printf("problem: %s\n\n", stats)
+
+	// The outage window is stated in protocol time (the cumulative
+	// accounted time of finished rounds): links 0..3 go dark shortly
+	// after the run starts and come back at step 400.
+	scenarios := []struct {
+		name string
+		plan *optnet.FaultPlan
+	}{
+		{"fault-free", nil},
+		{"outage, repaired at t=400", &optnet.FaultPlan{Faults: []optnet.Fault{
+			{Kind: optnet.LinkOutage, Link: 0, Start: 10, End: 400},
+			{Kind: optnet.LinkOutage, Link: 1, Start: 10, End: 400},
+			{Kind: optnet.LinkOutage, Link: 2, Start: 10, End: 400},
+			{Kind: optnet.LinkOutage, Link: 3, Start: 10, End: 400},
+		}}},
+		{"permanent outage + ack loss", &optnet.FaultPlan{Faults: []optnet.Fault{
+			{Kind: optnet.LinkOutage, Link: 0, Start: 0},
+			{Kind: optnet.LinkOutage, Link: 1, Start: 0},
+			{Kind: optnet.AckLoss, Link: 5, Start: 0, End: 600},
+		}}},
+	}
+
+	fmt.Printf("%-30s  %7s  %6s  %10s  %11s  %9s\n",
+		"scenario", "rounds", "time", "fault-kill", "rerouted", "delivered")
+	for _, sc := range scenarios {
+		res, err := optnet.Route(net, wl, optnet.Params{
+			Bandwidth:  2,
+			WormLength: 4,
+			Rule:       optnet.ServeFirst,
+			AckLength:  1,
+			Seed:       9,
+			Advanced:   &optnet.Advanced{Faults: sc.plan},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		delivered := fmt.Sprintf("%d/%d", res.Params.N-len(res.StillActive), res.Params.N)
+		fmt.Printf("%-30s  %7d  %6d  %10d  %11d  %9s\n",
+			sc.name, res.TotalRounds, res.TotalTime,
+			res.TotalFaultKills, res.TotalRerouted, delivered)
+	}
+	fmt.Println()
+	fmt.Println("The repaired outage costs extra rounds while worms detour or die")
+	fmt.Println("at the dark links; once repairs land, the usual schedule finishes")
+	fmt.Println("the stragglers. Even permanent outages only strand worms whose")
+	fmt.Println("destination becomes unreachable — everyone else routes around.")
+}

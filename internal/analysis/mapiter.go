@@ -13,6 +13,7 @@ var deterministicPackages = []string{
 	"internal/core",
 	"internal/witness",
 	"internal/paths",
+	"internal/faults",
 }
 
 // MapIter reports `range` statements over maps in the deterministic

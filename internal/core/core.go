@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/optical"
 	"repro/internal/paths"
@@ -222,6 +223,16 @@ type Config struct {
 	// RecordCollisions retains per-round collision traces for witness
 	// analysis.
 	RecordCollisions bool
+	// Faults optionally runs the protocol in degraded mode against a fault
+	// plan (see internal/faults). Plan timestamps are PROTOCOL time — the
+	// cumulative AccountedTime of finished rounds — and each round receives
+	// the plan re-anchored to its own local steps via Plan.Shift. At every
+	// round start, still-active worms whose paths cross a link that is down
+	// at that instant are deterministically rerouted around the outage
+	// (paths.ShortestPathAvoiding); worms whose destination is unreachable
+	// keep their original path and retry until a repair. Nil keeps the
+	// protocol exactly fault-free.
+	Faults *faults.Plan
 	// TrackCongestion computes the residual path congestion of the active
 	// sub-collection at the start of every round (costly; used by the
 	// Lemma 2.4 / 2.10 experiments).
@@ -256,6 +267,11 @@ type RoundStats struct {
 	Utilization float64
 	// AckUtilization is the ack band's occupied capacity fraction.
 	AckUtilization float64
+	// FaultKills counts trains the round's fault schedule destroyed
+	// (kept separate from Collisions; see sim.Result.FaultKillCount).
+	FaultKills int
+	// Rerouted counts active worms steered around down links this round.
+	Rerouted int
 }
 
 // Result is the full account of one protocol run.
@@ -270,6 +286,10 @@ type Result struct {
 	RoundTraces   [][]sim.Collision // per round, when RecordCollisions
 	ScheduleName  string
 	DuplicateAcks int // deliveries whose ack was lost (retried although delivered)
+	// TotalFaultKills and TotalRerouted sum the per-round degraded-mode
+	// counters (both 0 on fault-free runs).
+	TotalFaultKills int
+	TotalRerouted   int
 	// WormRounds[i] is the round in which worm i was acknowledged
 	// (0 = never within MaxRounds).
 	WormRounds []int
@@ -341,6 +361,18 @@ func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.En
 	g := c.Graph()
 	worms := make([]sim.Worm, 0, c.Size()) // reused across rounds
 
+	// Degraded mode: protocol time elapsed before the current round, used
+	// to anchor the fault plan, plus a per-round down-link lookup.
+	degraded := cfg.Faults != nil && !cfg.Faults.Empty()
+	offset := 0
+	var blocked []bool
+	if degraded {
+		if err := cfg.Faults.Validate(g, cfg.Bandwidth); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		blocked = make([]bool, g.NumLinks())
+	}
+
 	for t := 1; len(active) > 0 && t <= maxRounds; t++ {
 		delta := sched.Range(t, params)
 		stats := RoundStats{
@@ -357,6 +389,25 @@ func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.En
 			cfg.Probe.RoundStarted(t, delta, len(active))
 		}
 
+		// Re-anchor the fault plan to this round's local steps and note
+		// which links are down right now so worms can route around them.
+		var roundFaults *faults.Schedule
+		var isBlocked func(graph.LinkID) bool
+		if degraded {
+			sched, err := cfg.Faults.Shift(offset).Compile(g, cfg.Bandwidth)
+			if err != nil {
+				return nil, fmt.Errorf("core: round %d: %w", t, err)
+			}
+			roundFaults = sched
+			for i := range blocked {
+				blocked[i] = false
+			}
+			for _, id := range cfg.Faults.DownLinksAt(offset) {
+				blocked[id] = true
+			}
+			isBlocked = func(id graph.LinkID) bool { return blocked[id] }
+		}
+
 		var ranks []int
 		if cfg.Rule == optical.Priority {
 			ranks = prio.Assign(t, active, src)
@@ -368,9 +419,19 @@ func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.En
 			if cfg.Lengths != nil {
 				length = cfg.Lengths[idx]
 			}
+			path := c.Path(idx)
+			if degraded && pathHitsDownLink(c, idx, blocked) {
+				// Deterministic detour; an unreachable destination keeps
+				// the original path (the attempt dies at the outage and
+				// retries next round, by which time a repair may land).
+				if alt := paths.ShortestPathAvoiding(g, path.Source(), path.Dest(), isBlocked); alt != nil {
+					path = alt
+					stats.Rerouted++
+				}
+			}
 			w := sim.Worm{
 				ID:         idx,
-				Path:       c.Path(idx),
+				Path:       path,
 				Length:     length,
 				Delay:      src.Intn(delta),
 				Wavelength: lambdas[i],
@@ -389,6 +450,7 @@ func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.En
 			AckLength:        cfg.AckLength,
 			RecordCollisions: cfg.RecordCollisions,
 			CheckInvariants:  cfg.CheckInvariants,
+			Faults:           roundFaults,
 			Probe:            cfg.Probe,
 		})
 		if err != nil {
@@ -415,6 +477,7 @@ func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.En
 		stats.Makespan = simRes.Makespan
 		stats.Utilization = simRes.Utilization(g.NumLinks(), cfg.Bandwidth)
 		stats.AckUtilization = simRes.AckUtilization(g.NumLinks(), cfg.Bandwidth)
+		stats.FaultKills = simRes.FaultKillCount
 		if cfg.Probe != nil {
 			cfg.Probe.RoundFinished(telemetry.RoundInfo{
 				Round:              t,
@@ -425,6 +488,8 @@ func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.En
 				Collisions:         stats.Collisions,
 				Makespan:           stats.Makespan,
 				ResidualCongestion: stats.ResidualCongestion,
+				FaultKills:         stats.FaultKills,
+				Rerouted:           stats.Rerouted,
 			})
 		}
 		if cfg.RecordCollisions {
@@ -435,12 +500,26 @@ func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.En
 		res.Rounds = append(res.Rounds, stats)
 		res.TotalTime += stats.AccountedTime
 		res.MeasuredTime += stats.Makespan
+		res.TotalFaultKills += stats.FaultKills
+		res.TotalRerouted += stats.Rerouted
+		offset += stats.AccountedTime
 		active = still
 	}
 	res.TotalRounds = len(res.Rounds)
 	res.AllDelivered = len(active) == 0
 	res.StillActive = active
 	return res, nil
+}
+
+// pathHitsDownLink reports whether worm idx's original path crosses a
+// link marked down in the blocked lookup.
+func pathHitsDownLink(c *paths.Collection, idx int, blocked []bool) bool {
+	for _, id := range c.PathLinks(idx) {
+		if blocked[id] {
+			return true
+		}
+	}
+	return false
 }
 
 func scheduleOf(cfg Config) DelaySchedule {

@@ -158,6 +158,8 @@ var Registry = map[string]Runner{
 	"A7":  A7Synchronization,
 	"F4":  F4Witness,
 	"F5":  F5WitnessDepths,
+	"R1":  R1MeshRobustness,
+	"R2":  R2ButterflyRobustness,
 	"S1":  S1Scorecard,
 }
 

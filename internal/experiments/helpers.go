@@ -17,12 +17,21 @@ import (
 
 // trialStats aggregates protocol runs over repeated trials.
 type trialStats struct {
-	Rounds    []float64
-	Time      []float64 // the paper's accounted time
-	Measured  []float64 // simulated makespan sum
-	Completed int
-	Params    core.Params
+	Rounds     []float64
+	Time       []float64 // the paper's accounted time
+	Measured   []float64 // simulated makespan sum
+	Delivered  []float64 // per-trial fraction of worms acknowledged
+	FaultKills []float64 // per-trial fault-killed trains (degraded runs)
+	Rerouted   []float64 // per-trial degraded-mode reroutes
+	Completed  int
+	Params     core.Params
 }
+
+// trialPrep customizes one trial's configuration before it runs. The
+// robustness experiments use it to draw an independent fault plan per
+// trial; drawing only from the trial's own stream keeps the whole table
+// reproducible regardless of worker scheduling.
+type trialPrep func(trial int, cfg *core.Config, src *rng.Source)
 
 // runTrials executes the protocol `trials` times with independent rng
 // streams split from src and aggregates the results. Trials are striped
@@ -31,6 +40,11 @@ type trialStats struct {
 // determinism is preserved because every stream is split from src before
 // any goroutine starts and results are collected by index.
 func runTrials(c *paths.Collection, cfg core.Config, trials int, src *rng.Source) (*trialStats, error) {
+	return runTrialsPrep(c, cfg, trials, src, nil)
+}
+
+// runTrialsPrep is runTrials with a per-trial configuration hook.
+func runTrialsPrep(c *paths.Collection, cfg core.Config, trials int, src *rng.Source, prep trialPrep) (*trialStats, error) {
 	sources := src.SplitN(trials)
 	results := make([]*core.Result, trials)
 	errs := make([]error, trials)
@@ -59,7 +73,11 @@ func runTrials(c *paths.Collection, cfg core.Config, trials int, src *rng.Source
 				if i >= trials {
 					return
 				}
-				results[i], errs[i] = core.RunWithEngine(c, wcfg, sources[i], eng)
+				tcfg := wcfg
+				if prep != nil {
+					prep(i, &tcfg, sources[i])
+				}
+				results[i], errs[i] = core.RunWithEngine(c, tcfg, sources[i], eng)
 				if col != nil {
 					live.Absorb(col)
 				}
@@ -76,6 +94,11 @@ func runTrials(c *paths.Collection, cfg core.Config, trials int, src *rng.Source
 		ts.Rounds = append(ts.Rounds, float64(res.TotalRounds))
 		ts.Time = append(ts.Time, float64(res.TotalTime))
 		ts.Measured = append(ts.Measured, float64(res.MeasuredTime))
+		if n := res.Params.N; n > 0 {
+			ts.Delivered = append(ts.Delivered, float64(n-len(res.StillActive))/float64(n))
+		}
+		ts.FaultKills = append(ts.FaultKills, float64(res.TotalFaultKills))
+		ts.Rerouted = append(ts.Rerouted, float64(res.TotalRerouted))
 		if res.AllDelivered {
 			ts.Completed++
 		}
@@ -84,8 +107,11 @@ func runTrials(c *paths.Collection, cfg core.Config, trials int, src *rng.Source
 	return ts, nil
 }
 
-func (ts *trialStats) meanRounds() float64 { return stats.Mean(ts.Rounds) }
-func (ts *trialStats) meanTime() float64   { return stats.Mean(ts.Time) }
+func (ts *trialStats) meanRounds() float64     { return stats.Mean(ts.Rounds) }
+func (ts *trialStats) meanTime() float64       { return stats.Mean(ts.Time) }
+func (ts *trialStats) meanDelivered() float64  { return stats.Mean(ts.Delivered) }
+func (ts *trialStats) meanFaultKills() float64 { return stats.Mean(ts.FaultKills) }
+func (ts *trialStats) meanRerouted() float64   { return stats.Mean(ts.Rerouted) }
 
 // completedStr formats "completed/trials".
 func (ts *trialStats) completedStr() string {

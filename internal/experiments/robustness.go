@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/optical"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// The robustness family stresses the Trial-and-Failure protocol beyond
+// the paper's fault-free model: links fail and recover mid-run, acks are
+// swallowed, couplers stick. The protocol's own retry discipline is the
+// repair mechanism — a worm whose attempt dies at a dark link is simply
+// not acknowledged and retries next round, and degraded-mode rounds
+// additionally reroute around links known to be down at round start (see
+// core.Config.Faults). The tables report what faults actually cost:
+// delivery stays complete while rounds and accounted time inflate.
+
+// robustnessLadder runs the fault ladder for one collection and rule and
+// appends one row per outage count. Each trial draws an independent
+// random plan from its own rng stream, scaled to the fault-free runtime
+// so outages actually overlap the run.
+func robustnessLadder(t *Table, c *paths.Collection, rule optical.Rule, outages []int, o Options, src *rng.Source) error {
+	const L, B = 4, 2
+	cfg := core.Config{Bandwidth: B, Length: L, Rule: rule, AckLength: 1}
+	base, err := runTrials(c, cfg, o.trials(5), src)
+	if err != nil {
+		return err
+	}
+	g := c.Graph()
+	horizon := max(int(base.meanTime()), 16)
+	for _, k := range outages {
+		ts := base
+		if k > 0 {
+			gen := faults.GenConfig{
+				Horizon:     horizon,
+				LinkOutages: k,
+				AckLosses:   k / 2,
+				MinDuration: horizon / 8,
+				MaxDuration: horizon / 2,
+			}
+			prep := func(trial int, tcfg *core.Config, tsrc *rng.Source) {
+				tcfg.Faults = faults.MustRandom(g, B, gen, tsrc.Split())
+			}
+			ts, err = runTrialsPrep(c, cfg, o.trials(5), src, prep)
+			if err != nil {
+				return err
+			}
+		}
+		t.AddRow(rule.String(), k, ts.Params.N,
+			ts.meanRounds(), ts.meanTime(), ts.meanTime()/base.meanTime(),
+			ts.meanDelivered(), ts.meanFaultKills(), ts.meanRerouted(),
+			ts.completedStr())
+	}
+	return nil
+}
+
+var robustnessColumns = []string{
+	"rule", "outages", "n", "rounds", "time", "time/base",
+	"delivered", "fault-kills", "rerouted", "ok",
+}
+
+// R1MeshRobustness sweeps random link-outage plans over a mesh with
+// dimension-order routes under both contention rules. Outage windows are
+// drawn across the fault-free runtime, with ack-loss faults riding along
+// at half the outage count.
+func R1MeshRobustness(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "R1",
+		Title: "Robustness: random link outages on a mesh (dim-order routes)",
+		Notes: []string{
+			"per-trial random fault plans scaled to the fault-free runtime",
+			"fault kills retry like collisions; reroutes dodge links down at round start",
+		},
+		Columns: robustnessColumns,
+	}
+	side := 8
+	outages := []int{0, 2, 4, 8}
+	if o.Quick {
+		side = 5
+		outages = []int{0, 2, 4}
+	}
+	src := rng.New(o.Seed ^ 0x51)
+	m := topology.NewMesh(2, side)
+	prs := paths.RandomFunction(m.Graph().NumNodes(), src.Split())
+	c, err := paths.Build(m.Graph(), prs, paths.DimOrderMesh(m))
+	if err != nil {
+		return nil, err
+	}
+	for _, rule := range []optical.Rule{optical.ServeFirst, optical.Priority} {
+		if err := robustnessLadder(t, c, rule, outages, o, src.Split()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// R2ButterflyRobustness repeats the outage sweep on a butterfly routed by
+// random q-functions — the paper's leveled showcase topology. The
+// butterfly's unique input-output paths leave no reroute slack, so
+// outages translate purely into retry rounds, a sharper contrast to the
+// mesh where detours absorb part of the damage.
+func R2ButterflyRobustness(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "R2",
+		Title: "Robustness: random link outages on a butterfly (random q-functions)",
+		Notes: []string{
+			"unique butterfly paths cannot detour: faults cost retry rounds only",
+		},
+		Columns: robustnessColumns,
+	}
+	k := 4
+	outages := []int{0, 2, 4, 8}
+	if o.Quick {
+		k = 3
+		outages = []int{0, 2, 4}
+	}
+	src := rng.New(o.Seed ^ 0x52)
+	b := topology.NewButterfly(k)
+	prs := paths.ButterflyRandomQFunction(b, 1, src.Split())
+	c, err := paths.Build(b.Graph(), prs, paths.ButterflySelector(b))
+	if err != nil {
+		return nil, err
+	}
+	for _, rule := range []optical.Rule{optical.ServeFirst, optical.Priority} {
+		if err := robustnessLadder(t, c, rule, outages, o, src.Split()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

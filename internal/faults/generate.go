@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// GenConfig parameterizes random plan generation. Counts select how many
+// faults of each kind to draw; targets, start steps and durations are
+// drawn uniformly from the given source, so the plan is a deterministic
+// function of (graph, bandwidth, config, source state).
+type GenConfig struct {
+	// Horizon is the exclusive upper bound on fault start steps; it
+	// should cover the portion of the run worth disturbing. Required >= 1
+	// when any count is nonzero.
+	Horizon int
+	// LinkOutages, WavelengthOutages, AckLosses and StuckCouplers count
+	// the faults of each kind to draw.
+	LinkOutages       int
+	WavelengthOutages int
+	AckLosses         int
+	StuckCouplers     int
+	// MinDuration and MaxDuration bound the drawn fault durations
+	// (inclusive). MinDuration defaults to 1; MaxDuration defaults to
+	// Horizon (and is raised to MinDuration if set below it).
+	MinDuration int
+	MaxDuration int
+}
+
+// Random draws a plan from src under cfg. The draw order is fixed (link
+// outages, wavelength outages, ack losses, stuck couplers; per fault:
+// target, start, duration), so identical inputs reproduce the identical
+// plan. The result always passes Validate for (g, bandwidth).
+func Random(g *graph.Graph, bandwidth int, cfg GenConfig, src *rng.Source) (*Plan, error) {
+	total := cfg.LinkOutages + cfg.WavelengthOutages + cfg.AckLosses + cfg.StuckCouplers
+	p := &Plan{}
+	if total == 0 {
+		return p, nil
+	}
+	if cfg.Horizon < 1 {
+		return nil, fmt.Errorf("faults: Horizon %d < 1 with %d faults requested", cfg.Horizon, total)
+	}
+	if bandwidth < 1 {
+		return nil, fmt.Errorf("faults: bandwidth %d < 1", bandwidth)
+	}
+	if g.NumLinks() == 0 && total > cfg.StuckCouplers {
+		return nil, fmt.Errorf("faults: graph has no links")
+	}
+	minD := cfg.MinDuration
+	if minD < 1 {
+		minD = 1
+	}
+	maxD := cfg.MaxDuration
+	if maxD < 1 {
+		maxD = cfg.Horizon
+	}
+	if maxD < minD {
+		maxD = minD
+	}
+	window := func() (start, end int) {
+		start = src.Intn(cfg.Horizon)
+		return start, start + minD + src.Intn(maxD-minD+1)
+	}
+	for i := 0; i < cfg.LinkOutages; i++ {
+		f := Fault{Kind: LinkOutage, Link: src.Intn(g.NumLinks())}
+		f.Start, f.End = window()
+		p.Faults = append(p.Faults, f)
+	}
+	for i := 0; i < cfg.WavelengthOutages; i++ {
+		f := Fault{
+			Kind:       WavelengthOutage,
+			Link:       src.Intn(g.NumLinks()),
+			Band:       src.Intn(2),
+			Wavelength: src.Intn(bandwidth),
+		}
+		f.Start, f.End = window()
+		p.Faults = append(p.Faults, f)
+	}
+	for i := 0; i < cfg.AckLosses; i++ {
+		f := Fault{Kind: AckLoss, Link: src.Intn(g.NumLinks())}
+		f.Start, f.End = window()
+		p.Faults = append(p.Faults, f)
+	}
+	for i := 0; i < cfg.StuckCouplers; i++ {
+		f := Fault{Kind: StuckCoupler, Node: src.Intn(g.NumNodes())}
+		f.Start, f.End = window()
+		p.Faults = append(p.Faults, f)
+	}
+	return p, nil
+}
+
+// MustRandom is Random that panics on error; for static configurations
+// known to be valid.
+func MustRandom(g *graph.Graph, bandwidth int, cfg GenConfig, src *rng.Source) *Plan {
+	p, err := Random(g, bandwidth, cfg, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,59 @@
+package paths
+
+import "repro/internal/graph"
+
+// ShortestPathAvoiding returns a shortest src -> dst path that uses no
+// link for which blocked returns true, or nil when every route is cut.
+// The BFS explores links in insertion order exactly like
+// graph.ShortestPath, so the selection is deterministic and a nil
+// blocked predicate reproduces graph.ShortestPath's answer. The
+// degraded-mode protocol rounds use it to steer still-active worms
+// around links a fault plan has taken down.
+func ShortestPathAvoiding(g *graph.Graph, src, dst graph.NodeID, blocked func(graph.LinkID) bool) graph.Path {
+	if blocked == nil {
+		return g.ShortestPath(src, dst)
+	}
+	if src == dst {
+		return graph.Path{src}
+	}
+	parent := make([]graph.NodeID, g.NumNodes())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []graph.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, id := range g.Out(u) {
+			if blocked(id) {
+				continue
+			}
+			v := g.Link(id).To
+			if parent[v] < 0 {
+				parent[v] = u
+				if v == dst {
+					return rebuild(parent, src, dst)
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}
+
+// rebuild walks the BFS parents back from dst and reverses the walk.
+func rebuild(parent []graph.NodeID, src, dst graph.NodeID) graph.Path {
+	var rev []graph.NodeID
+	for v := dst; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	p := make(graph.Path, len(rev))
+	for i, v := range rev {
+		p[len(rev)-1-i] = v
+	}
+	return p
+}

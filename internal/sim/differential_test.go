@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/optical"
 	"repro/internal/rng"
@@ -57,6 +58,9 @@ func TestEngineVsReferenceAllCombos(t *testing.T) {
 	tor := topology.NewTorus(2, 4)
 	g := tor.Graph()
 	eng := NewEngine()
+	// An attached-but-empty fault plan must leave the engine byte-for-byte
+	// identical to the fault-free run, across the whole matrix.
+	emptyPlan := (&faults.Plan{}).MustCompile(g, 2)
 
 	sparse := func(n graph.NodeID) bool { return n%2 == 0 }
 	conversions := []struct {
@@ -99,6 +103,16 @@ func TestEngineVsReferenceAllCombos(t *testing.T) {
 							if len(fast.Collisions) != len(ref.Collisions) {
 								t.Fatalf("%s: collision logs %d vs %d entries",
 									label, len(fast.Collisions), len(ref.Collisions))
+							}
+							cfg.CheckInvariants = true
+							cfg.Faults = emptyPlan
+							withEmpty, errE := eng.Run(g, worms, cfg)
+							if errE != nil {
+								t.Fatalf("%s: empty-plan run: %v", label, errE)
+							}
+							compareResults(t, label+"/empty-plan", withEmpty, ref)
+							if withEmpty.FaultKillCount != 0 {
+								t.Fatalf("%s: empty plan killed %d trains", label, withEmpty.FaultKillCount)
 							}
 						}
 					}

@@ -46,19 +46,21 @@ type ExponentialBackoff struct {
 
 // Backoff implements RetryPolicy.
 func (e ExponentialBackoff) Backoff(attempt int) int {
-	base, cap := e.Base, e.Cap
+	base, ceiling := e.Base, e.Cap
 	if base <= 0 {
 		base = 8
 	}
-	if cap <= 0 {
-		cap = 1024 * base
+	if ceiling <= 0 {
+		ceiling = 1024 * base
 	}
+	// Clamp the shift so the doubling cannot overflow; the range is
+	// capped at ceiling well before attempt 30 for any sane Base.
 	if attempt > 30 {
 		attempt = 30
 	}
 	r := base << uint(attempt-1)
-	if r > cap {
-		r = cap
+	if r > ceiling {
+		r = ceiling
 	}
 	if r < 1 {
 		r = 1
@@ -115,6 +117,11 @@ type DynamicResult struct {
 	Outcomes      []DynamicOutcome
 	TotalAttempts int
 	Makespan      int
+	// FaultKills counts attempts (messages and acks) destroyed by an
+	// injected fault schedule (Sim.Faults). A fault-killed attempt is
+	// indistinguishable from a contention loss to its source: the exact
+	// ack deadline passes and the source relaunches with backoff.
+	FaultKills int
 }
 
 // RunDynamic simulates continuous operation: every request launches at
@@ -124,6 +131,9 @@ type DynamicResult struct {
 func RunDynamic(g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Source) (*DynamicResult, error) {
 	if cfg.Sim.Bandwidth < 1 {
 		return nil, fmt.Errorf("sim: bandwidth %d < 1", cfg.Sim.Bandwidth)
+	}
+	if cfg.Sim.Faults != nil && !cfg.Sim.Faults.Matches(g.NumLinks(), g.NumNodes(), cfg.Sim.Bandwidth) {
+		return nil, fmt.Errorf("sim: fault schedule compiled for a different graph or bandwidth")
 	}
 	seen := make(map[int]bool, len(reqs))
 	maxArrival, maxPath, maxLen := 0, 0, 1
@@ -279,5 +289,6 @@ func RunDynamic(g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Sour
 		t++
 	}
 	dres.Makespan = e.res.Makespan
+	dres.FaultKills = e.res.FaultKillCount
 	return dres, nil
 }

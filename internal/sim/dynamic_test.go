@@ -214,20 +214,31 @@ func TestDynamicValidation(t *testing.T) {
 }
 
 func TestBackoffPolicies(t *testing.T) {
-	e := ExponentialBackoff{Base: 4, Cap: 64}
-	if e.Backoff(1) != 4 || e.Backoff(2) != 8 || e.Backoff(10) != 64 {
-		t.Error("exponential backoff values")
+	tests := []struct {
+		name    string
+		policy  ExponentialBackoff
+		attempt int
+		want    int
+	}{
+		{"first attempt returns base", ExponentialBackoff{Base: 4, Cap: 64}, 1, 4},
+		{"second attempt doubles", ExponentialBackoff{Base: 4, Cap: 64}, 2, 8},
+		{"capped at ceiling", ExponentialBackoff{Base: 4, Cap: 64}, 10, 64},
+		{"exactly at ceiling", ExponentialBackoff{Base: 4, Cap: 64}, 5, 64},
+		{"zero value defaults base to 8", ExponentialBackoff{}, 1, 8},
+		{"zero value defaults cap to 1024*base", ExponentialBackoff{}, 60, 8 * 1024},
+		{"shift clamp at attempt 30", ExponentialBackoff{Base: 1, Cap: 1 << 40}, 30, 1 << 29},
+		{"attempt 31 matches the clamp", ExponentialBackoff{Base: 1, Cap: 1 << 40}, 31, 1 << 29},
+		{"huge attempt does not overflow", ExponentialBackoff{Base: 4}, 1 << 20, 4 * 1024},
 	}
-	if (ExponentialBackoff{}).Backoff(1) != 8 {
-		t.Error("exponential defaults")
-	}
-	if (ExponentialBackoff{Base: 4}).Backoff(40) != 4*1024 {
-		t.Error("attempt clamp with default cap")
+	for _, tc := range tests {
+		if got := tc.policy.Backoff(tc.attempt); got != tc.want {
+			t.Errorf("%s: Backoff(%d) = %d, want %d", tc.name, tc.attempt, got, tc.want)
+		}
 	}
 	if (FixedBackoff{Range: 7}).Backoff(3) != 7 || (FixedBackoff{}).Backoff(1) != 1 {
 		t.Error("fixed backoff values")
 	}
-	if e.Name() != "exponential" || (FixedBackoff{}).Name() != "fixed" {
+	if (ExponentialBackoff{}).Name() != "exponential" || (FixedBackoff{}).Name() != "fixed" {
 		t.Error("names")
 	}
 }

@@ -86,6 +86,11 @@ type Engine struct {
 	// Config each begin); every hook site guards with one nil check.
 	probe telemetry.Probe
 	now   int // current step, for hook sites without a t parameter
+	// flt points at ef while a fault schedule is attached and is nil
+	// otherwise, so — like probe — the fault-free hot path pays exactly
+	// one predictable branch per consultation site.
+	flt *engineFaults
+	ef  engineFaults
 }
 
 // NewEngine returns an empty engine ready for its first Run.
@@ -212,6 +217,12 @@ func (e *Engine) begin(g *graph.Graph, cfg Config, nOutcomes int) {
 	e.occMsg = 0
 	e.now = 0
 	e.probe = cfg.Probe
+	if cfg.Faults != nil {
+		e.ef.attach(cfg.Faults, e.nLinks, g.NumNodes(), need)
+		e.flt = &e.ef
+	} else {
+		e.flt = nil
+	}
 	if e.probe != nil {
 		e.probe.BeginRun(telemetry.RunMeta{Links: e.nLinks, Bandwidth: cfg.Bandwidth, Worms: nOutcomes})
 	}
@@ -343,13 +354,24 @@ func (e *Engine) step(t int) {
 		e.release(f, t)
 	}
 
+	// 1b. Fault events due now (or skipped over during an idle jump) take
+	// effect: repairs first, then activations, which destroy the current
+	// occupants of newly dark slots. This runs before activation and entry
+	// collection so the whole step sees one consistent fault set, and the
+	// wreckage fragments of killed occupants join e.active in time for
+	// their own entries below.
+	if e.flt != nil {
+		e.advanceFaults(t)
+	}
+
 	// 2. Activate trains spawning now.
 	e.active = e.cal.takeInto(t, e.active)
 
 	// 3. Collect entries: each live fragment whose head enters a new link.
 	// Sorting by (slot key, worm ID) yields the conflict groups in
 	// deterministic key order with members in ID order, with no per-step
-	// map or closure allocation.
+	// map or closure allocation. Heads entering a dark link or slot (or an
+	// ack entering an ack-loss link) are killed here, before contention.
 	e.entries = e.entries[:0]
 	for _, f := range e.active {
 		if f.gone {
@@ -358,6 +380,14 @@ func (e *Engine) step(t int) {
 		i := f.hi(t)
 		if i < 0 || i > f.limit() {
 			continue
+		}
+		if fl := e.flt; fl != nil {
+			link := f.t.links[i]
+			if fl.linkDark[link] > 0 || (f.t.isAck && fl.ackLoss[link] > 0) ||
+				fl.slotDark[e.fragKey(f, i)] > 0 {
+				e.faultKillEntrant(f, i, t)
+				continue
+			}
 		}
 		e.entries = append(e.entries, entry{key: e.fragKey(f, i), f: f, idx: i})
 	}
@@ -404,6 +434,26 @@ func (e *Engine) step(t int) {
 
 		inc := e.occ[k]
 		hasInc := inc.f != nil
+		// A stuck coupler freezes arbitration at links leaving the node:
+		// the occupant always keeps the slot (even under Priority), a free
+		// slot goes to the lowest-ID entrant, and losers are cut outright —
+		// the stuck coupler cannot rescue them via conversion either. The
+		// nStuck guard keeps the fault-free path to one branch.
+		if fl := e.flt; fl != nil && fl.nStuck > 0 &&
+			fl.stuck[e.g.Link(live[0].f.t.links[live[0].idx]).From] > 0 {
+			if hasInc {
+				for _, en := range live {
+					e.cutEntrant(en.f, en.idx, t, inc.f.t)
+				}
+			} else {
+				win := live[0] // smallest worm ID after sorting
+				e.setOcc(k, win.f, win.idx)
+				for _, en := range live[1:] {
+					e.cutEntrant(en.f, en.idx, t, win.f.t)
+				}
+			}
+			continue
+		}
 		switch e.cfg.Rule {
 		case optical.ServeFirst:
 			if hasInc {
@@ -471,7 +521,8 @@ func (e *Engine) step(t int) {
 		for d := 1; d < e.cfg.Bandwidth; d++ {
 			w := (cur + d) % e.cfg.Bandwidth
 			k := e.key(f.t.band, f.t.links[ca.idx], w)
-			if e.occ[k].f == nil {
+			// A dark slot (wavelength outage) is free but unusable.
+			if e.occ[k].f == nil && (e.flt == nil || e.flt.slotDark[k] == 0) {
 				f.t.waves[ca.idx] = w
 				e.setOcc(k, f, ca.idx)
 				converted = true

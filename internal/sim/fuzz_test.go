@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/optical"
 	"repro/internal/topology"
@@ -23,6 +24,10 @@ func FuzzEngineVsReference(f *testing.F) {
 	// Priority + Drain with acks (bits 2 and 5).
 	f.Add([]byte{1, 0x24, 5, 1, 3, 3, 2, 2, 7, 0, 1, 6})
 	f.Add([]byte{2, 0x2c, 5, 1, 3, 3, 2, 2, 7, 0, 1, 6, 0xff, 0x10})
+	// Attached empty fault plan (bit 7): must stay byte-for-byte.
+	f.Add([]byte{1, 0x80, 3, 1, 0, 2, 5, 1})
+	f.Add([]byte{2, 0xac, 5, 1, 3, 3, 2, 2, 7, 0, 1, 6, 0xff, 0x10})
+	f.Add([]byte{0, 0xe7, 7, 2, 9, 0, 4, 4, 4, 4, 1, 2, 3, 8, 8})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 4 {
 			return
@@ -61,7 +66,8 @@ func FuzzEngineVsReference(f *testing.F) {
 
 // decodeScenario deterministically maps fuzz bytes to a small scenario.
 // Config byte layout: bits 0-1 bandwidth-1, bit 2 rule, bit 3 wreckage,
-// bit 4 tie, bit 5 ack length, bit 6 wavelength conversion.
+// bit 4 tie, bit 5 ack length, bit 6 wavelength conversion, bit 7
+// attached empty fault plan (must not change any result byte).
 func decodeScenario(data []byte) (*graph.Graph, []Worm, Config) {
 	next := func() byte {
 		if len(data) == 0 {
@@ -87,6 +93,9 @@ func decodeScenario(data []byte) (*graph.Graph, []Worm, Config) {
 	}
 	if cfgByte>>6&1 == 1 {
 		cfg.Conversion = FullConversion
+	}
+	if cfgByte>>7&1 == 1 {
+		cfg.Faults = (&faults.Plan{}).MustCompile(g, cfg.Bandwidth)
 	}
 	n := g.NumNodes()
 	var worms []Worm

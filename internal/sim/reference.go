@@ -28,6 +28,12 @@ func RunReference(g *graph.Graph, worms []Worm, cfg Config) (*Result, error) {
 	if err := validate(g, worms, cfg); err != nil {
 		return nil, err
 	}
+	// The reference model deliberately implements no fault physics; a
+	// compiled empty plan is fine (it changes nothing by definition) and
+	// the differential suite pins the engine to the reference under it.
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		return nil, fmt.Errorf("sim: the reference model does not support fault injection")
+	}
 	return runReference(g, worms, cfg, nil)
 }
 

@@ -25,6 +25,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/optical"
 	"repro/internal/telemetry"
@@ -81,6 +82,16 @@ type Config struct {
 	Conversion func(node graph.NodeID) bool
 	// RecordCollisions retains a Collision entry for every lost conflict.
 	RecordCollisions bool
+	// Faults optionally attaches a compiled fault schedule (see
+	// internal/faults): link and wavelength outages destroy and then block
+	// traffic for their windows, ack-loss faults swallow acknowledgement
+	// trains, stuck couplers freeze contention at a node. The schedule
+	// must be compiled for this graph and bandwidth. A nil Faults — or a
+	// compiled empty plan — keeps the run byte-for-byte identical to the
+	// fault-free engine and allocation-free in steady state. Fault
+	// timestamps are steps of this run (the protocol core re-anchors
+	// plans per round via faults.Plan.Shift).
+	Faults *faults.Schedule
 	// Probe optionally receives engine events (see internal/telemetry):
 	// run boundaries, per-step busy totals, slot claims and releases,
 	// cuts, splits, deliveries and ack completions. A nil probe costs one
@@ -165,6 +176,12 @@ type Result struct {
 	Collisions []Collision
 	// CollisionCount counts lost conflicts regardless of recording.
 	CollisionCount int
+	// FaultKillCount counts trains (messages and acks) destroyed by
+	// injected faults. Fault kills are not collisions: they do not count
+	// in CollisionCount, appear in Collisions, or set the outcome's
+	// CutLink/CutTime, so contention statistics stay comparable between
+	// faulty and fault-free runs.
+	FaultKillCount int
 	// Makespan is the last step at which anything happened.
 	Makespan int
 	// BusySlotSteps counts occupied (link, wavelength) slots summed over
@@ -222,6 +239,9 @@ func (v *validator) check(g *graph.Graph, worms []Worm, cfg Config) error {
 	}
 	if cfg.AckLength < 0 {
 		return fmt.Errorf("sim: negative ack length %d", cfg.AckLength)
+	}
+	if cfg.Faults != nil && !cfg.Faults.Matches(g.NumLinks(), g.NumNodes(), cfg.Bandwidth) {
+		return fmt.Errorf("sim: fault schedule compiled for a different graph or bandwidth")
 	}
 	if v.ids == nil {
 		v.ids = make(map[int]bool, len(worms))

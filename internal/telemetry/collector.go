@@ -24,6 +24,9 @@ type Collector struct {
 	acked          uint64
 	wormsLaunched  uint64
 	roundsObserved uint64
+	faultsStarted  uint64
+	faultsEnded    uint64
+	faultKills     [NumBands]uint64
 
 	// collisions is the cut heatmap, indexed (band*links + link)*B + wave.
 	collisions []uint64
@@ -152,6 +155,17 @@ func (c *Collector) AckCompleted(t, worm, residence int) {
 	}
 }
 
+// FaultStarted implements Probe.
+func (c *Collector) FaultStarted(t, kind, target int) { c.faultsStarted++ }
+
+// FaultEnded implements Probe.
+func (c *Collector) FaultEnded(t, kind, target int) { c.faultsEnded++ }
+
+// WormKilledByFault implements Probe.
+func (c *Collector) WormKilledByFault(t, band, link, worm int, isAck bool) {
+	c.faultKills[band]++
+}
+
 // EndRun implements Probe.
 func (c *Collector) EndRun(makespan int) { c.makespan.Observe(makespan) }
 
@@ -188,6 +202,11 @@ func (c *Collector) Merge(o *Collector) {
 	c.acked += o.acked
 	c.wormsLaunched += o.wormsLaunched
 	c.roundsObserved += o.roundsObserved
+	c.faultsStarted += o.faultsStarted
+	c.faultsEnded += o.faultsEnded
+	for b := range c.faultKills {
+		c.faultKills[b] += o.faultKills[b]
+	}
 	if o.links > 0 && c.bandwidth == o.bandwidth {
 		for band := 0; band < NumBands; band++ {
 			for l := 0; l < o.links; l++ {
@@ -221,6 +240,8 @@ func (c *Collector) Reset() {
 	c.cuts = [NumBands]uint64{}
 	c.splits, c.delivered, c.acked = 0, 0, 0
 	c.wormsLaunched, c.roundsObserved = 0, 0
+	c.faultsStarted, c.faultsEnded = 0, 0
+	c.faultKills = [NumBands]uint64{}
 	for i := range c.collisions {
 		c.collisions[i] = 0
 	}
@@ -290,6 +311,17 @@ type Snapshot struct {
 	Acked uint64 `json:"acked"`
 	// RoundsObserved counts finished protocol rounds.
 	RoundsObserved uint64 `json:"rounds_observed"`
+	// FaultsStarted and FaultsEnded count injected fault activations and
+	// repairs observed across runs.
+	FaultsStarted uint64 `json:"faults_started"`
+	// FaultsEnded counts fault repairs.
+	FaultsEnded uint64 `json:"faults_ended"`
+	// MessageFaultKills and AckFaultKills count trains destroyed by
+	// injected faults per band — kept apart from MessageCuts/AckCuts,
+	// which count only lost contentions.
+	MessageFaultKills uint64 `json:"message_fault_kills"`
+	// AckFaultKills is the ack-band fault-kill total.
+	AckFaultKills uint64 `json:"ack_fault_kills"`
 	// Collisions lists the nonzero cut-heatmap cells.
 	Collisions []SlotCount `json:"collisions,omitempty"`
 	// LinkBusySteps lists the nonzero per-link busy integrals.
@@ -328,6 +360,10 @@ func (c *Collector) Snapshot() *Snapshot {
 		Delivered:            c.delivered,
 		Acked:                c.acked,
 		RoundsObserved:       c.roundsObserved,
+		FaultsStarted:        c.faultsStarted,
+		FaultsEnded:          c.faultsEnded,
+		MessageFaultKills:    c.faultKills[MessageBand],
+		AckFaultKills:        c.faultKills[AckBand],
 		Retries:              c.retries.Snapshot(),
 		RoundsToAck:          c.roundsToAck.Snapshot(),
 		StepsToDelivery:      c.delivery.Snapshot(),

@@ -51,6 +51,13 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	fmt.Fprintf(bw, "optnet_cuts_total{band=\"message\"} %d\n", s.MessageCuts)
 	fmt.Fprintf(bw, "optnet_cuts_total{band=\"ack\"} %d\n", s.AckCuts)
 
+	counter("optnet_faults_started_total", "Injected fault activations.", s.FaultsStarted)
+	counter("optnet_faults_ended_total", "Injected fault repairs.", s.FaultsEnded)
+	fmt.Fprintf(bw, "# HELP optnet_fault_kills_total Trains destroyed by injected faults, by band.\n")
+	fmt.Fprintf(bw, "# TYPE optnet_fault_kills_total counter\n")
+	fmt.Fprintf(bw, "optnet_fault_kills_total{band=\"message\"} %d\n", s.MessageFaultKills)
+	fmt.Fprintf(bw, "optnet_fault_kills_total{band=\"ack\"} %d\n", s.AckFaultKills)
+
 	if len(s.Collisions) > 0 {
 		fmt.Fprintf(bw, "# HELP optnet_link_cuts_total Cut heatmap by band, link and wavelength.\n")
 		fmt.Fprintf(bw, "# TYPE optnet_link_cuts_total counter\n")

@@ -60,6 +60,14 @@ type RoundInfo struct {
 	// ResidualCongestion is the active sub-collection's path congestion at
 	// round start; -1 when the protocol run does not track it.
 	ResidualCongestion int `json:"residual_congestion"`
+	// FaultKills counts trains destroyed by injected faults in the round's
+	// simulation (zero when no fault plan is attached). Fault kills are
+	// accounted separately from Collisions: they are component failures,
+	// not lost contentions.
+	FaultKills int `json:"fault_kills,omitempty"`
+	// Rerouted counts worms launched on a detour around links down at
+	// round start (degraded-mode path re-selection).
+	Rerouted int `json:"rerouted,omitempty"`
 }
 
 // Probe receives simulation and protocol events. All hooks are invoked
@@ -98,6 +106,18 @@ type Probe interface {
 	// AckCompleted fires when the source learns of a delivery: residence
 	// is the ack train's steps after launch (0 for oracle acks).
 	AckCompleted(t, worm, residence int)
+	// FaultStarted fires when an injected fault becomes active at step t.
+	// kind is the faults.Kind as a small integer; target is the directed
+	// link ID for link-scoped faults and the node ID for stuck couplers.
+	FaultStarted(t, kind, target int)
+	// FaultEnded fires when an injected fault is repaired at step t, with
+	// the same kind/target coordinates as FaultStarted.
+	FaultEnded(t, kind, target int)
+	// WormKilledByFault fires when an injected fault destroys flits of
+	// train worm (an ack train when isAck) on the given band and physical
+	// link at step t. Fault kills never fire WormCut; the two streams
+	// separate component failures from lost contentions.
+	WormKilledByFault(t, band, link, worm int, isAck bool)
 	// EndRun closes the run opened by BeginRun with its final makespan.
 	EndRun(makespan int)
 	// RoundStarted announces protocol round `round` launching `active`

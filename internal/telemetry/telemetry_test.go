@@ -91,17 +91,21 @@ func TestBucketConstructors(t *testing.T) {
 }
 
 // drive feeds a collector a tiny synthetic run: two links, one wavelength,
-// one worm delivered and acked over four steps, one cut on link 1.
+// one worm delivered and acked over four steps, one cut on link 1, and one
+// injected fault window killing an ack train.
 func drive(c *Collector) {
 	c.BeginRun(RunMeta{Links: 2, Bandwidth: 1, Worms: 1})
 	c.SlotClaimed(0, MessageBand, 0, 0)
 	c.StepAdvanced(0, 1, 0)
+	c.FaultStarted(1, 0, 1)
 	c.SlotClaimed(1, MessageBand, 1, 0)
 	c.StepAdvanced(1, 2, 0)
 	c.SlotReleased(2, MessageBand, 0, 0)
 	c.WormCut(2, MessageBand, 1, 0, 7, false)
 	c.FragmentSplit(2, 7)
+	c.WormKilledByFault(2, AckBand, 1, 7, true)
 	c.StepAdvanced(2, 1, 0)
+	c.FaultEnded(3, 0, 1)
 	c.SlotReleased(3, MessageBand, 1, 0)
 	c.WormDelivered(3, 0, 2, 3)
 	c.AckCompleted(3, 0, 0)
@@ -124,6 +128,12 @@ func TestCollectorCounters(t *testing.T) {
 	}
 	if s.Delivered != 1 || s.Acked != 1 {
 		t.Errorf("delivered/acked = %d/%d", s.Delivered, s.Acked)
+	}
+	if s.FaultsStarted != 1 || s.FaultsEnded != 1 {
+		t.Errorf("faults started/ended = %d/%d, want 1/1", s.FaultsStarted, s.FaultsEnded)
+	}
+	if s.MessageFaultKills != 0 || s.AckFaultKills != 1 {
+		t.Errorf("fault kills message/ack = %d/%d, want 0/1", s.MessageFaultKills, s.AckFaultKills)
 	}
 	if len(s.Collisions) != 1 || s.Collisions[0] != (SlotCount{Band: MessageBand, Link: 1, Wavelength: 0, Count: 1}) {
 		t.Errorf("collisions = %+v", s.Collisions)
@@ -219,6 +229,10 @@ func TestCollectorMerge(t *testing.T) {
 	if s.StepsToDelivery.Count != 2 {
 		t.Errorf("merged delivery count = %d", s.StepsToDelivery.Count)
 	}
+	if s.FaultsStarted != 2 || s.FaultsEnded != 2 || s.AckFaultKills != 2 {
+		t.Errorf("merged fault counters = %d/%d/%d, want 2/2/2",
+			s.FaultsStarted, s.FaultsEnded, s.AckFaultKills)
+	}
 	// b is untouched by Merge.
 	if b.Snapshot().Runs != 1 {
 		t.Error("Merge must not modify its argument")
@@ -232,6 +246,9 @@ func TestCollectorReset(t *testing.T) {
 	s := c.Snapshot()
 	if s.Runs != 0 || s.Steps != 0 || len(s.Collisions) != 0 || len(s.LinkBusySteps) != 0 {
 		t.Errorf("reset left state behind: %+v", s)
+	}
+	if s.FaultsStarted != 0 || s.FaultsEnded != 0 || s.MessageFaultKills != 0 || s.AckFaultKills != 0 {
+		t.Errorf("reset left fault counters behind: %+v", s)
 	}
 	// The geometry stays provisioned, so reuse does not reallocate.
 	if s.Links != 2 || s.Bandwidth != 1 {
@@ -283,6 +300,9 @@ func TestWritePrometheus(t *testing.T) {
 		"optnet_cuts_total{band=\"message\"} 1\n",
 		"optnet_link_cuts_total{band=\"message\",link=\"1\",wavelength=\"0\"} 1\n",
 		"optnet_link_busy_slot_steps_total{band=\"message\",link=\"0\"} 2\n",
+		"optnet_faults_started_total 1\n",
+		"optnet_faults_ended_total 1\n",
+		"optnet_fault_kills_total{band=\"ack\"} 1\n",
 		"optnet_steps_to_delivery_count 1\n",
 		"optnet_run_makespan_steps_sum 3\n",
 	} {

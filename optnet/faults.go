@@ -1,0 +1,47 @@
+package optnet
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/rng"
+)
+
+// Fault injection: deterministic failure plans for robustness studies.
+// A FaultPlan lists link outages (with optional repair times), single
+// dark wavelengths, acknowledgement-swallowing links, and stuck couplers
+// that freeze contention at a node. Attach a plan via Advanced.Faults
+// (protocol routing, degraded-mode rounds reroute around known-down
+// links) or DynamicParams.Faults (continuous operation, fault-killed
+// attempts retry with backoff). Plans are plain data: the same plan and
+// seed reproduce a faulty run exactly.
+
+// Fault re-exports one fault event (kind, target, window).
+type Fault = faults.Fault
+
+// FaultPlan re-exports the declarative fault plan.
+type FaultPlan = faults.Plan
+
+// FaultKind re-exports the fault taxonomy.
+type FaultKind = faults.Kind
+
+// Fault kinds.
+const (
+	LinkOutage       = faults.LinkOutage
+	WavelengthOutage = faults.WavelengthOutage
+	AckLoss          = faults.AckLoss
+	StuckCoupler     = faults.StuckCoupler
+)
+
+// FaultGenConfig re-exports the random-plan generator configuration.
+type FaultGenConfig = faults.GenConfig
+
+// RandomFaultPlan draws a random fault plan for the network, valid for
+// the given bandwidth. Equal seeds draw equal plans.
+func RandomFaultPlan(n *Network, bandwidth int, cfg FaultGenConfig, seed uint64) (*FaultPlan, error) {
+	p, err := faults.Random(n.Graph(), bandwidth, cfg, rng.New(seed))
+	if err != nil {
+		return nil, fmt.Errorf("optnet: %w", err)
+	}
+	return p, nil
+}

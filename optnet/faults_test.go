@@ -1,0 +1,59 @@
+package optnet
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRouteWithFaultPlan(t *testing.T) {
+	net := Torus(2, 5)
+	wl := RandomFunction(net, 11)
+	plan, err := RandomFaultPlan(net, 2, FaultGenConfig{
+		Horizon: 100, LinkOutages: 4, AckLosses: 2, MinDuration: 10, MaxDuration: 50,
+	}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		res, err := Route(net, wl, Params{
+			Bandwidth: 2, WormLength: 4, AckLength: 1, Seed: 9,
+			Advanced: &Advanced{Faults: plan},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if !res.AllDelivered {
+		t.Fatalf("degraded route incomplete; still active: %v", res.StillActive)
+	}
+	if !reflect.DeepEqual(res, run()) {
+		t.Fatal("same plan and seed did not reproduce the run")
+	}
+}
+
+func TestRouteDynamicWithFaultPlan(t *testing.T) {
+	net := Torus(2, 4)
+	arrivals := []Arrival{{Src: 0, Dst: 5, Step: 0}, {Src: 3, Dst: 10, Step: 2}}
+	plan := &FaultPlan{Faults: []Fault{
+		{Kind: LinkOutage, Link: 0, Start: 0, End: 30},
+	}}
+	res, err := RouteDynamic(net, arrivals, DynamicParams{
+		Bandwidth: 2, WormLength: 3, AckLength: 1, Seed: 5, Faults: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outcomes {
+		if !o.Delivered {
+			t.Errorf("request %d not delivered: %+v", i, o)
+		}
+	}
+	bad := &FaultPlan{Faults: []Fault{{Kind: LinkOutage, Link: 99999, Start: 0}}}
+	if _, err := RouteDynamic(net, arrivals, DynamicParams{
+		Bandwidth: 2, WormLength: 3, Seed: 5, Faults: bad,
+	}); err == nil {
+		t.Error("accepted a plan referencing a nonexistent link")
+	}
+}

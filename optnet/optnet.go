@@ -216,6 +216,10 @@ type Advanced struct {
 	RecordCollisions bool
 	// TrackCongestion records residual path congestion per round.
 	TrackCongestion bool
+	// Faults runs the protocol in degraded mode against a fault plan (see
+	// FaultPlan): timestamps are protocol time, and each round reroutes
+	// still-active worms around links down at round start.
+	Faults *FaultPlan
 	// Probe receives telemetry events (nil = no telemetry; see Probe and
 	// Collector). Probes observe the run and never alter its results.
 	Probe Probe
@@ -250,6 +254,7 @@ func RouteCollection(col *paths.Collection, p Params) (*Result, error) {
 		cfg.MaxRounds = a.MaxRounds
 		cfg.RecordCollisions = a.RecordCollisions
 		cfg.TrackCongestion = a.TrackCongestion
+		cfg.Faults = a.Faults
 		cfg.Probe = a.Probe
 	}
 	return core.Run(col, cfg, rng.New(p.Seed))
@@ -294,6 +299,7 @@ func RouteMultiHop(n *Network, wl Workload, hops int, p Params) (*MultiHopResult
 		cfg.Wreckage = a.Wreckage
 		cfg.Conversion = a.Conversion
 		cfg.MaxRounds = a.MaxRounds
+		cfg.Faults = a.Faults
 		cfg.Probe = a.Probe
 	}
 	return core.RunMultiHop(col, hops, cfg, rng.New(p.Seed))
@@ -333,6 +339,10 @@ type DynamicParams struct {
 	// base 2L); MaxAttempts bounds retries per request (0 = 50).
 	Retry       sim.RetryPolicy
 	MaxAttempts int
+	// Faults injects a fault plan into the continuous run (timestamps are
+	// run steps). Fault-killed attempts retry with backoff like any lost
+	// attempt.
+	Faults *FaultPlan
 	// Probe receives engine telemetry during continuous operation (nil =
 	// no telemetry).
 	Probe Probe
@@ -358,13 +368,21 @@ func RouteDynamic(n *Network, arrivals []Arrival, p DynamicParams) (*DynamicResu
 			Arrival: a.Step,
 		})
 	}
+	scfg := sim.Config{
+		Bandwidth: p.Bandwidth,
+		Rule:      p.Rule,
+		AckLength: p.AckLength,
+		Probe:     p.Probe,
+	}
+	if !p.Faults.Empty() {
+		sched, err := p.Faults.Compile(n.Graph(), p.Bandwidth)
+		if err != nil {
+			return nil, fmt.Errorf("optnet: %w", err)
+		}
+		scfg.Faults = sched
+	}
 	return sim.RunDynamic(n.Graph(), reqs, sim.DynamicConfig{
-		Sim: sim.Config{
-			Bandwidth: p.Bandwidth,
-			Rule:      p.Rule,
-			AckLength: p.AckLength,
-			Probe:     p.Probe,
-		},
+		Sim:         scfg,
 		Retry:       p.Retry,
 		MaxAttempts: p.MaxAttempts,
 	}, rng.New(p.Seed))
