@@ -1,0 +1,122 @@
+package repro
+
+// Serving benchmarks: the job layer's two hot paths. A cache hit must be
+// dominated by one store lookup and a JSON decode (no simulation); a
+// cold submit pays for the sweep itself. TestEmitBenchServe writes both
+// as BENCH_serve.json for trend tracking, mirroring BENCH_sim.json.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/sim"
+)
+
+// serveSpec is the benchmark job: a 4x4 torus permutation sweep.
+func serveSpec(seed uint64, trials int) jobs.Spec {
+	return jobs.Spec{Route: &jobs.RouteSpec{
+		Network:  jobs.NetworkSpec{Kind: "torus", Dims: 2, Side: 4},
+		Workload: jobs.WorkloadSpec{Kind: "permutation"},
+		Protocol: jobs.ProtocolSpec{Bandwidth: 2, Length: 4},
+		Seed:     seed,
+		Trials:   trials,
+	}}
+}
+
+// BenchmarkServeCacheHit measures answering an already-stored job: the
+// content-address computation, the store lookup and the result decode.
+func BenchmarkServeCacheHit(b *testing.B) {
+	store, err := jobs.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	exec := &jobs.Executor{Store: store}
+	spec := serveSpec(1, 2)
+	if _, _, err := exec.Run(spec, sim.NewEngine(), nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, fromCache, err := exec.Run(spec, nil, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !fromCache || res == nil {
+			b.Fatal("benchmark job missed the cache")
+		}
+	}
+}
+
+// BenchmarkServeSubmit measures a cold submission end to end on a reused
+// worker engine: simulate, checkpoint, store. Each iteration uses a
+// distinct seed so nothing is ever cached.
+func BenchmarkServeSubmit(b *testing.B) {
+	store, err := jobs.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	exec := &jobs.Executor{Store: store}
+	eng := sim.NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, fromCache, err := exec.Run(serveSpec(uint64(i)+1, 2), eng, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fromCache || res == nil {
+			b.Fatal("cold submission claimed a cache hit")
+		}
+	}
+}
+
+// TestEmitBenchServe writes BENCH_serve.json with the serving hot-path
+// numbers. Run explicitly:
+//
+//	BENCH_SERVE_JSON=BENCH_serve.json go test -run TestEmitBenchServe .
+func TestEmitBenchServe(t *testing.T) {
+	path := os.Getenv("BENCH_SERVE_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SERVE_JSON=<file> to emit the serving benchmarks")
+	}
+	type point struct {
+		Bench    string `json:"bench"`
+		Trials   int    `json:"trials"`
+		NsPerOp  int64  `json:"ns_per_op"`
+		AllocsOp int64  `json:"allocs_per_op"`
+		BytesOp  int64  `json:"bytes_per_op"`
+	}
+	var points []point
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BenchmarkServeCacheHit", BenchmarkServeCacheHit},
+		{"BenchmarkServeSubmit", BenchmarkServeSubmit},
+	} {
+		r := testing.Benchmark(bench.fn)
+		points = append(points, point{
+			Bench:    bench.name,
+			Trials:   2,
+			NsPerOp:  r.NsPerOp(),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(points); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d points to %s", len(points), path)
+}

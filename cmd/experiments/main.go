@@ -8,10 +8,17 @@
 //	experiments -run E5             # one experiment
 //	experiments -run E5 -quick      # reduced ladder (seconds)
 //	experiments -list               # show what exists
+//	experiments -run E5 -store dir  # memoize via the job result store
 //
 // With -metrics-addr the process also serves live telemetry while the
 // experiments run: Prometheus text format on /metrics and a JSON dump on
 // /snapshot, aggregated across every simulated round so far.
+//
+// With -store the command routes each experiment through the optnetd
+// result store: the table is keyed by its content address (experiment
+// ID, seed, trials, quick), so rerunning the same invocation replays
+// the stored output byte-for-byte instead of re-simulating. The same
+// directory can be served by optnetd.
 package main
 
 import (
@@ -21,19 +28,21 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "", "experiment ID (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiment IDs")
-		quick  = flag.Bool("quick", false, "use reduced problem-size ladders")
-		seed   = flag.Uint64("seed", 1, "master random seed")
-		trials = flag.Int("trials", 0, "Monte-Carlo trials per configuration (0 = default)")
-		asJSON = flag.Bool("json", false, "emit tables as JSON instead of text")
-		maddr  = flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics and /snapshot)")
+		run      = flag.String("run", "", "experiment ID (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment IDs")
+		quick    = flag.Bool("quick", false, "use reduced problem-size ladders")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		trials   = flag.Int("trials", 0, "Monte-Carlo trials per configuration (0 = default)")
+		asJSON   = flag.Bool("json", false, "emit tables as JSON instead of text")
+		maddr    = flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics and /snapshot)")
+		storeDir = flag.String("store", "", "memoize tables in this optnetd result-store directory")
 	)
 	flag.Parse()
 
@@ -48,40 +57,62 @@ func main() {
 		}()
 	}
 
+	// emit renders one experiment, optionally through the result store.
+	var exec *jobs.Executor
+	if *storeDir != "" {
+		store, err := jobs.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		exec = &jobs.Executor{Store: store, Experiments: experiments.JobRunner()}
+	}
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Trials: *trials}
+	emit := func(id string) error {
+		if exec != nil {
+			spec := jobs.Spec{Experiment: &jobs.ExperimentSpec{
+				ID: id, Seed: *seed, Trials: *trials, Quick: *quick,
+			}}
+			res, fromCache, err := exec.Run(spec, nil, nil, nil)
+			if err != nil {
+				return err
+			}
+			if fromCache {
+				log.Printf("experiments: %s replayed from store (key %s)", id, res.Key)
+			}
+			if *asJSON {
+				_, err = os.Stdout.Write(append([]byte(nil), res.Table...))
+				return err
+			}
+			_, err = os.Stdout.WriteString(res.Text)
+			return err
+		}
+		tbl, err := experiments.Run(id, opts)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return tbl.WriteJSON(os.Stdout)
+		}
+		tbl.Fprint(os.Stdout)
+		return nil
+	}
+
 	switch {
 	case *list:
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
 	case *all:
-		if *asJSON {
-			for _, id := range experiments.IDs() {
-				tbl, err := experiments.Run(id, opts)
-				if err != nil {
-					fatal(err)
-				}
-				if err := tbl.WriteJSON(os.Stdout); err != nil {
-					fatal(err)
-				}
+		for _, id := range experiments.IDs() {
+			if err := emit(id); err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
 			}
-			return
-		}
-		if err := experiments.RunAll(opts, os.Stdout); err != nil {
-			fatal(err)
 		}
 	case *run != "":
-		tbl, err := experiments.Run(*run, opts)
-		if err != nil {
+		if err := emit(*run); err != nil {
 			fatal(err)
 		}
-		if *asJSON {
-			if err := tbl.WriteJSON(os.Stdout); err != nil {
-				fatal(err)
-			}
-			return
-		}
-		tbl.Fprint(os.Stdout)
 	default:
 		flag.Usage()
 		os.Exit(1)

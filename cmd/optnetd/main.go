@@ -1,0 +1,110 @@
+// Command optnetd serves routing jobs over HTTP/JSON: clients submit a
+// declarative job spec (a routed network sweep or a named experiment),
+// the daemon simulates it on a pool of workers with reused engines, and
+// a content-addressed result store memoizes completed jobs so identical
+// submissions are answered without re-simulation. Sweeps checkpoint
+// after every trial; a killed daemon resumes them byte-identically.
+//
+// Usage:
+//
+//	optnetd -addr :9090 -store ./results          # serve
+//	optnetd -once job.json -store ./results       # run one spec, print, exit
+//
+// Endpoints: POST /jobs, GET /jobs/{key}, GET /jobs/{key}/result
+// (?wait=1 blocks), GET /jobs/{key}/stream (NDJSON progress),
+// DELETE /jobs/{key}, GET /metrics (Prometheus text), GET /snapshot.
+//
+// A full queue answers 429 with a Retry-After header; the job key in
+// every response is the spec's content address (see README "Serving").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/jobs"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9090", "HTTP listen address")
+		dir     = flag.String("store", "", "result-store directory (empty = no persistence)")
+		workers = flag.Int("workers", 1, "worker goroutines, one reused engine each")
+		queue   = flag.Int("queue", 64, "bound on queued jobs before 429")
+		retry   = flag.Duration("retry-after", time.Second, "Retry-After hint for 429 responses")
+		once    = flag.String("once", "", "run the job spec in this file, print the result, exit")
+	)
+	flag.Parse()
+
+	var store *jobs.Store
+	if *dir != "" {
+		var err error
+		store, err = jobs.Open(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+	}
+	live := telemetry.NewLive()
+	experiments.SetLive(live) // experiment jobs report through the same aggregate
+	exec := &jobs.Executor{
+		Store:       store,
+		Experiments: experiments.JobRunner(),
+		Live:        live,
+	}
+
+	if *once != "" {
+		if err := runOnce(exec, *once); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	sched := jobs.NewScheduler(exec, jobs.Options{
+		Workers:    *workers,
+		QueueSize:  *queue,
+		RetryAfter: *retry,
+		Now:        time.Now,
+	})
+	defer sched.Close()
+	srv := &jobs.Server{Sched: sched, Live: live}
+	log.Printf("optnetd: serving on %s (workers=%d queue=%d store=%q)", *addr, *workers, *queue, *dir)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// runOnce executes one job spec file inline — no scheduler, no HTTP —
+// and prints the result JSON. With -store it still reads and writes the
+// cache, so a repeated -once invocation is a cache hit.
+func runOnce(exec *jobs.Executor, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spec jobs.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("optnetd: bad spec %s: %w", path, err)
+	}
+	res, fromCache, err := exec.Run(spec, sim.NewEngine(), nil, nil)
+	if err != nil {
+		return err
+	}
+	log.Printf("optnetd: job %s done (from_cache=%v)", res.Key, fromCache)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@ var deterministicPackages = []string{
 	"internal/witness",
 	"internal/paths",
 	"internal/faults",
+	"internal/jobs",
 }
 
 // MapIter reports `range` statements over maps in the deterministic

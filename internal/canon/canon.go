@@ -1,0 +1,321 @@
+// Package canon provides a canonical JSON encoding: a deterministic,
+// byte-stable serialization used wherever equal configurations must
+// produce equal bytes — the content-addressed job store hashes canonical
+// spec encodings into job keys, and the experiment tables are emitted in
+// the same form so downstream tooling can diff them.
+//
+// The encoding differs from encoding/json in exactly the ways that matter
+// for stability:
+//
+//   - map keys are emitted in sorted order;
+//   - struct fields appear in declaration order with every field present
+//     (`omitempty` is ignored — defaults are explicit, so adding a field
+//     with its zero value to a request changes nothing);
+//   - nil slices encode as [], nil maps as {}, nil pointers and
+//     interfaces as null;
+//   - floats use the shortest representation that round-trips (NaN and
+//     the infinities are encoding errors);
+//   - strings are escaped minimally and identically on every platform
+//     (no HTML escaping).
+//
+// The byte output of this package is a compatibility promise: job keys
+// are hashes of it, so any change to the encoding invalidates every
+// stored result. The golden tests pin it.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// rawMessageType matches json.RawMessage values, which are passed through
+// verbatim (the caller vouches for their stability).
+var rawMessageType = reflect.TypeOf(json.RawMessage(nil))
+
+// Marshal returns the canonical compact encoding of v.
+func Marshal(v any) ([]byte, error) {
+	return Append(nil, v)
+}
+
+// Append appends the canonical compact encoding of v to dst.
+func Append(dst []byte, v any) ([]byte, error) {
+	e := encoder{buf: dst}
+	if err := e.value(reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// MarshalIndent returns the canonical encoding of v pretty-printed like
+// json.MarshalIndent: the same bytes modulo whitespace.
+func MarshalIndent(v any, prefix, indent string) ([]byte, error) {
+	e := encoder{prefix: prefix, indent: indent, pretty: true}
+	if err := e.value(reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// Hash returns the hex SHA-256 of the canonical compact encoding of v:
+// the content address of a configuration.
+func Hash(v any) (string, error) {
+	b, err := Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// encoder accumulates the canonical encoding; pretty selects the
+// indented layout.
+type encoder struct {
+	buf    []byte
+	prefix string
+	indent string
+	pretty bool
+	depth  int
+}
+
+func (e *encoder) newline() {
+	if !e.pretty {
+		return
+	}
+	e.buf = append(e.buf, '\n')
+	e.buf = append(e.buf, e.prefix...)
+	for i := 0; i < e.depth; i++ {
+		e.buf = append(e.buf, e.indent...)
+	}
+}
+
+func (e *encoder) value(v reflect.Value) error {
+	if !v.IsValid() {
+		e.buf = append(e.buf, "null"...)
+		return nil
+	}
+	if v.Type() == rawMessageType {
+		raw := v.Bytes()
+		if len(raw) == 0 {
+			e.buf = append(e.buf, "null"...)
+			return nil
+		}
+		e.buf = append(e.buf, raw...)
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		e.buf = strconv.AppendBool(e.buf, v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.buf = strconv.AppendInt(e.buf, v.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		e.buf = strconv.AppendUint(e.buf, v.Uint(), 10)
+	case reflect.Float32, reflect.Float64:
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("canon: cannot encode %v", f)
+		}
+		e.buf = strconv.AppendFloat(e.buf, f, 'g', -1, 64)
+	case reflect.String:
+		e.appendString(v.String())
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			e.buf = append(e.buf, "null"...)
+			return nil
+		}
+		return e.value(v.Elem())
+	case reflect.Slice:
+		if v.Type().Elem().Kind() == reflect.Uint8 {
+			// []byte encodes as base64, like encoding/json.
+			e.appendString(base64.StdEncoding.EncodeToString(v.Bytes()))
+			return nil
+		}
+		return e.array(v)
+	case reflect.Array:
+		return e.array(v)
+	case reflect.Map:
+		return e.mapValue(v)
+	case reflect.Struct:
+		return e.structValue(v)
+	default:
+		return fmt.Errorf("canon: unsupported kind %s", v.Kind())
+	}
+	return nil
+}
+
+func (e *encoder) array(v reflect.Value) error {
+	n := v.Len()
+	if n == 0 {
+		e.buf = append(e.buf, "[]"...)
+		return nil
+	}
+	e.buf = append(e.buf, '[')
+	e.depth++
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			e.buf = append(e.buf, ',')
+		}
+		e.newline()
+		if err := e.value(v.Index(i)); err != nil {
+			return err
+		}
+	}
+	e.depth--
+	e.newline()
+	e.buf = append(e.buf, ']')
+	return nil
+}
+
+// mapValue encodes a map with keys sorted by their encoded form. Key
+// types are restricted to strings and integers, which cover every use in
+// this repo and have an obvious total order.
+func (e *encoder) mapValue(v reflect.Value) error {
+	n := v.Len()
+	if n == 0 {
+		e.buf = append(e.buf, "{}"...)
+		return nil
+	}
+	type kv struct {
+		name string
+		val  reflect.Value
+	}
+	pairs := make([]kv, 0, n)
+	iter := v.MapRange()
+	for iter.Next() {
+		k := iter.Key()
+		var name string
+		switch k.Kind() {
+		case reflect.String:
+			name = k.String()
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			name = strconv.FormatInt(k.Int(), 10)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			name = strconv.FormatUint(k.Uint(), 10)
+		default:
+			return fmt.Errorf("canon: unsupported map key kind %s", k.Kind())
+		}
+		pairs = append(pairs, kv{name, iter.Value()})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	e.buf = append(e.buf, '{')
+	e.depth++
+	for i, p := range pairs {
+		if i > 0 {
+			e.buf = append(e.buf, ',')
+		}
+		e.newline()
+		e.appendString(p.name)
+		e.colon()
+		if err := e.value(p.val); err != nil {
+			return err
+		}
+	}
+	e.depth--
+	e.newline()
+	e.buf = append(e.buf, '}')
+	return nil
+}
+
+func (e *encoder) colon() {
+	e.buf = append(e.buf, ':')
+	if e.pretty {
+		e.buf = append(e.buf, ' ')
+	}
+}
+
+func (e *encoder) structValue(v reflect.Value) error {
+	t := v.Type()
+	e.buf = append(e.buf, '{')
+	e.depth++
+	first := true
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := f.Name
+		if tag, ok := f.Tag.Lookup("json"); ok {
+			base, _, _ := strings.Cut(tag, ",")
+			if base == "-" {
+				continue
+			}
+			if base != "" {
+				name = base
+			}
+		}
+		if f.Anonymous && f.Type.Kind() == reflect.Struct {
+			// Embedded structs without an explicit tag flatten like
+			// encoding/json would; with a tag they nest under the name.
+			if _, ok := f.Tag.Lookup("json"); !ok {
+				return fmt.Errorf("canon: untagged embedded struct %s (flattening is ambiguous; add a json tag)", f.Name)
+			}
+		}
+		if !first {
+			e.buf = append(e.buf, ',')
+		}
+		first = false
+		e.newline()
+		e.appendString(name)
+		e.colon()
+		if err := e.value(v.Field(i)); err != nil {
+			return err
+		}
+	}
+	e.depth--
+	if first {
+		e.buf = append(e.buf, '}')
+		return nil
+	}
+	e.newline()
+	e.buf = append(e.buf, '}')
+	return nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendString writes a JSON string with minimal, platform-independent
+// escaping: quote, backslash, control characters, and invalid UTF-8
+// (replaced, as encoding/json does).
+func (e *encoder) appendString(s string) {
+	e.buf = append(e.buf, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				e.buf = append(e.buf, '\\', '"')
+			case c == '\\':
+				e.buf = append(e.buf, '\\', '\\')
+			case c == '\n':
+				e.buf = append(e.buf, '\\', 'n')
+			case c == '\r':
+				e.buf = append(e.buf, '\\', 'r')
+			case c == '\t':
+				e.buf = append(e.buf, '\\', 't')
+			case c < 0x20:
+				e.buf = append(e.buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			default:
+				e.buf = append(e.buf, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			e.buf = append(e.buf, "�"...)
+			i++
+			continue
+		}
+		e.buf = append(e.buf, s[i:i+size]...)
+		i += size
+	}
+	e.buf = append(e.buf, '"')
+}

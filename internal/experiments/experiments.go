@@ -8,11 +8,12 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/canon"
 )
 
 // Options control an experiment run.
@@ -107,17 +108,23 @@ func (t *Table) Fprint(w io.Writer) {
 // WriteJSON renders the table as a JSON object with id, title, notes,
 // columns and rows — for downstream plotting tools. Numeric cells are
 // emitted as JSON numbers at full precision (they are only rounded for
-// the text rendering).
+// the text rendering). The encoding is canonical (internal/canon): the
+// same table always serializes to the same bytes, so stored experiment
+// results can be compared and content-addressed byte-for-byte.
 func (t *Table) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(struct {
+	b, err := canon.MarshalIndent(struct {
 		ID      string   `json:"id"`
 		Title   string   `json:"title"`
-		Notes   []string `json:"notes,omitempty"`
+		Notes   []string `json:"notes"`
 		Columns []string `json:"columns"`
 		Rows    [][]any  `json:"rows"`
-	}{t.ID, t.Title, t.Notes, t.Columns, t.Rows})
+	}{t.ID, t.Title, t.Notes, t.Columns, t.Rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }
 
 func pad(s string, w int) string {

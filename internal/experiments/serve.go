@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JobRunner adapts the experiment registry to the job server's
+// experiment seam (jobs.ExperimentRunner). The returned function runs
+// one experiment and yields its canonical table JSON plus the rendered
+// text report — exactly the two artifacts the result store memoizes, so
+// a cached experiment replays byte-for-byte. The unnamed function type
+// keeps this package independent of internal/jobs (the dependency
+// points the other way: cmd/optnetd wires the two together).
+func JobRunner() func(id string, seed uint64, trials int, quick bool) (json.RawMessage, string, error) {
+	return func(id string, seed uint64, trials int, quick bool) (json.RawMessage, string, error) {
+		tbl, err := Run(id, Options{Seed: seed, Trials: trials, Quick: quick})
+		if err != nil {
+			return nil, "", fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		var jb bytes.Buffer
+		if err := tbl.WriteJSON(&jb); err != nil {
+			return nil, "", err
+		}
+		var tb bytes.Buffer
+		tbl.Fprint(&tb)
+		return json.RawMessage(jb.Bytes()), tb.String(), nil
+	}
+}

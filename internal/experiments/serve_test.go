@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONGolden pins the canonical table encoding byte-for-byte.
+// The job store content-addresses stored experiment output, so any drift
+// here silently orphans cached results — update only deliberately.
+func TestWriteJSONGolden(t *testing.T) {
+	tbl := &Table{
+		ID:      "X1",
+		Title:   "golden",
+		Notes:   []string{"a note"},
+		Columns: []string{"n", "value"},
+	}
+	tbl.AddRow(4, 1.5)
+	tbl.AddRow(8, 0.1)
+	var buf bytes.Buffer
+	if err := tbl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "id": "X1",
+  "title": "golden",
+  "notes": [
+    "a note"
+  ],
+  "columns": [
+    "n",
+    "value"
+  ],
+  "rows": [
+    [
+      4,
+      1.5
+    ],
+    [
+      8,
+      0.1
+    ]
+  ]
+}
+`
+	if buf.String() != want {
+		t.Errorf("canonical table encoding drifted:\n got: %q\nwant: %q", buf.String(), want)
+	}
+}
+
+// TestWriteJSONDeterministic: two renderings of one table are identical.
+func TestWriteJSONDeterministic(t *testing.T) {
+	tbl := &Table{ID: "X2", Title: "det", Columns: []string{"a"}}
+	tbl.AddRow("v")
+	var b1, b2 bytes.Buffer
+	if err := tbl.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("same table rendered differently")
+	}
+}
+
+// TestJobRunner: the adapter executes an experiment and returns its two
+// serving artifacts, deterministically.
+func TestJobRunner(t *testing.T) {
+	run := JobRunner()
+	table, text, err := run("A4", 1, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID   string  `json:"id"`
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.Unmarshal(table, &decoded); err != nil {
+		t.Fatalf("adapter table is not valid JSON: %v", err)
+	}
+	if decoded.ID != "A4" || len(decoded.Rows) == 0 {
+		t.Errorf("adapter table: %+v", decoded)
+	}
+	if !strings.Contains(text, "A4") {
+		t.Errorf("adapter text missing the experiment header:\n%s", text)
+	}
+	table2, text2, err := run("A4", 1, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(table2) != string(table) || text2 != text {
+		t.Error("adapter output is not deterministic across calls")
+	}
+	if _, _, err := run("NOPE", 1, 1, true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

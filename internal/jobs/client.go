@@ -1,0 +1,111 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to an optnetd server. The zero value is not usable; set
+// BaseURL (e.g. "http://localhost:9090").
+type Client struct {
+	// BaseURL is the server root, without a trailing slash.
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when set.
+	HTTPClient *http.Client
+}
+
+// httpClient returns the configured or default HTTP client.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// url joins the base URL and path.
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + path
+}
+
+// decode reads one JSON response, translating error envelopes and
+// non-2xx statuses into errors.
+func decode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e errorBody
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("jobs: server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("jobs: server: HTTP %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Submit submits the spec and returns the job's status. A previously
+// stored result comes back already done with FromCache set.
+func (c *Client) Submit(spec Spec, priority int) (JobStatus, error) {
+	body, err := json.Marshal(SubmitRequest{Spec: spec, Priority: priority})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.httpClient().Post(c.url("/jobs"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := decode(resp, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Status fetches the job's current status.
+func (c *Client) Status(key string) (JobStatus, error) {
+	resp, err := c.httpClient().Get(c.url("/jobs/" + key))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := decode(resp, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Result fetches the job's result, blocking server-side until the job
+// settles.
+func (c *Client) Result(key string) (*Result, error) {
+	resp, err := c.httpClient().Get(c.url("/jobs/" + key + "/result?wait=1"))
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := decode(resp, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Cancel cancels the job.
+func (c *Client) Cancel(key string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.url("/jobs/"+key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	return decode(resp, nil)
+}

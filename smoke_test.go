@@ -53,6 +53,7 @@ func TestSmokeCommands(t *testing.T) {
 		{"./cmd/lowerbound", []string{"-kind", "cyclic", "-structures", "8", "-delta", "8"}, "all delivered: true"},
 		{"./cmd/topogen", []string{"-topo", "butterfly", "-dim", "3", "-workload", "qfunc", "-dot"}, "graph \"butterfly(3)\""},
 		{"./cmd/trace", []string{"-topo", "ring", "-size", "6", "-worms", "3", "-L", "2"}, "space-time diagram"},
+		{"./cmd/optnetd", []string{"-once", "cmd/optnetd/testdata/smoke.json"}, "\"aggregate\""},
 	}
 	for _, tc := range cases {
 		tc := tc
