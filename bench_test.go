@@ -8,7 +8,9 @@ package repro
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 	"os"
 	"testing"
 
@@ -111,24 +113,27 @@ func BenchmarkSimRound(b *testing.B) {
 //
 //	go test -bench BenchmarkEngine -benchmem .
 func BenchmarkEngineSteadyState(b *testing.B) {
-	for _, probe := range []string{"off", "on"} {
-		b.Run("probe="+probe, func(b *testing.B) {
-			g, worms, cfg := simRoundWorkload(b, 16)
-			if probe == "on" {
-				cfg.Probe = optnet.NewCollector()
-			}
-			eng := sim.NewEngine()
-			if _, err := eng.Run(g, worms, cfg); err != nil { // warm the pools
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := eng.Run(g, worms, cfg); err != nil {
+	for _, side := range []int{16, 24} {
+		for _, probe := range []string{"off", "on"} {
+			name := fmt.Sprintf("torus_side=%d/worms=%d/probe=%s", side, side*side, probe)
+			b.Run(name, func(b *testing.B) {
+				g, worms, cfg := simRoundWorkload(b, side)
+				if probe == "on" {
+					cfg.Probe = optnet.NewCollector()
+				}
+				eng := sim.NewEngine()
+				if _, err := eng.Run(g, worms, cfg); err != nil { // warm the pools
 					b.Fatal(err)
 				}
-			}
-		})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Run(g, worms, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -249,6 +254,72 @@ func TestEmitBenchTrajectory(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %d points to %s", len(points), path)
+}
+
+// TestBenchRegressionGuard re-measures the steady-state kernel points of
+// the checked-in BENCH_sim.json baseline and fails if any regresses more
+// than 15% in ns/op, or allocates when the baseline did not. Each point
+// takes the best of three runs to damp scheduler noise. Gated on an env
+// var so plain `go test` stays fast; run with
+//
+//	BENCH_GUARD=1 go test -run TestBenchRegressionGuard .
+func TestBenchRegressionGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the benchmark regression guard")
+	}
+	data, err := os.ReadFile("BENCH_sim.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var points []struct {
+		Bench     string `json:"bench"`
+		TorusSide int    `json:"torus_side"`
+		Worms     int    `json:"worms"`
+		NsPerOp   int64  `json:"ns_per_op"`
+		AllocsOp  int64  `json:"allocs_per_op"`
+	}
+	if err := json.Unmarshal(data, &points); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	const slackPct = 15
+	for _, p := range points {
+		if p.Bench != "BenchmarkEngine/steady" {
+			continue // fresh and probe modes are informational, not contracts
+		}
+		side := p.TorusSide
+		bestNs, bestAllocs := int64(math.MaxInt64), int64(math.MaxInt64)
+		for run := 0; run < 3; run++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				g, worms, cfg := simRoundWorkload(b, side)
+				eng := sim.NewEngine()
+				if _, err := eng.Run(g, worms, cfg); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Run(g, worms, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if ns := r.NsPerOp(); ns < bestNs {
+				bestNs = ns
+			}
+			if a := r.AllocsPerOp(); a < bestAllocs {
+				bestAllocs = a
+			}
+		}
+		limit := p.NsPerOp * (100 + slackPct) / 100
+		t.Logf("torus_side=%d: %d ns/op (baseline %d, limit %d)", side, bestNs, p.NsPerOp, limit)
+		if bestNs > limit {
+			t.Errorf("torus_side=%d regressed: %d ns/op exceeds baseline %d by more than %d%%",
+				side, bestNs, p.NsPerOp, slackPct)
+		}
+		if bestAllocs > p.AllocsOp {
+			t.Errorf("torus_side=%d allocates %d allocs/op, baseline %d", side, bestAllocs, p.AllocsOp)
+		}
+	}
 }
 
 // BenchmarkProtocolTorus measures a complete protocol run end to end.

@@ -14,6 +14,12 @@ import (
 // function literals are static and free), and append calls that are not
 // the self-append reuse idiom `x = append(x, ...)` (growth of a pooled
 // buffer is amortized; growth of a fresh slice is a per-call allocation).
+//
+// The `//optlint:hotpath packed` variant marks word-packed kernels —
+// functions whose occupancy keys are composed with shift/mask on
+// power-of-two strides. In those, integer division and modulo are also
+// flagged: a stray % or / on the key path silently reintroduces the
+// DIV-latency the padded layout exists to avoid.
 var HotPath = &Analyzer{
 	Name: "hotpath",
 	Doc:  "no allocating constructs in //optlint:hotpath functions",
@@ -25,32 +31,48 @@ func runHotPath(p *Pass) {
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !hasHotPathDirective(fn) {
+			if !ok || fn.Body == nil {
 				continue
 			}
-			checkHotFunc(p, fn, decls)
+			hot, packed := hotPathDirective(fn)
+			if !hot {
+				continue
+			}
+			checkHotFunc(p, fn, decls, packed)
 		}
 	}
 }
 
-// hasHotPathDirective reports whether fn's doc comment contains the
-// //optlint:hotpath marker line.
-func hasHotPathDirective(fn *ast.FuncDecl) bool {
+// hotPathDirective reports whether fn's doc comment contains the
+// //optlint:hotpath marker line, and whether it carries the `packed`
+// argument.
+func hotPathDirective(fn *ast.FuncDecl) (hot, packed bool) {
 	if fn.Doc == nil {
-		return false
+		return false, false
 	}
 	for _, c := range fn.Doc.List {
-		if strings.TrimSpace(c.Text) == hotpathMarker {
-			return true
+		switch strings.Join(strings.Fields(c.Text), " ") {
+		case hotpathMarker:
+			hot = true
+		case hotpathMarker + " packed":
+			hot, packed = true, true
 		}
 	}
-	return false
+	return hot, packed
 }
 
-func checkHotFunc(p *Pass, fn *ast.FuncDecl, decls map[string]bool) {
+func checkHotFunc(p *Pass, fn *ast.FuncDecl, decls map[string]bool, packed bool) {
 	name := fn.Name.Name
 	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if packed && (n.Op == token.QUO || n.Op == token.REM) {
+				p.Reportf(n.OpPos, "packed kernel %s uses %s: compose keys with shift/mask on the power-of-two stride instead", name, n.Op)
+			}
+		case *ast.AssignStmt:
+			if packed && (n.Tok == token.QUO_ASSIGN || n.Tok == token.REM_ASSIGN) {
+				p.Reportf(n.TokPos, "packed kernel %s uses %s: compose keys with shift/mask on the power-of-two stride instead", name, n.Tok)
+			}
 		case *ast.CallExpr:
 			id, ok := n.Fun.(*ast.Ident)
 			if !ok {

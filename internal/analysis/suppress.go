@@ -58,8 +58,15 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]
 				if !strings.HasPrefix(text, "//optlint:") {
 					continue
 				}
-				if text == hotpathMarker {
-					continue // consumed by the hotpath analyzer
+				if text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" ") {
+					// Consumed by the hotpath analyzer; the only argument it
+					// understands is `packed`, so anything else is a typo that
+					// would otherwise silently mark nothing.
+					if args := strings.Fields(strings.TrimPrefix(text, hotpathMarker)); len(args) > 0 &&
+						!(len(args) == 1 && args[0] == "packed") {
+						bad(c.Pos(), "optlint:hotpath argument %q not recognized (known: packed)", strings.Join(args, " "))
+					}
+					continue
 				}
 				rest, ok := strings.CutPrefix(text, allowPrefix)
 				if !ok {

@@ -19,3 +19,20 @@ func setup(n int) []int {
 	out := make([]int, n)
 	return append(out, n)
 }
+
+// maskWord is the compliant form of a packed kernel: shift and mask only.
+//
+//optlint:hotpath packed
+func maskWord(words []uint64, key int) int {
+	wi := key >> 6
+	bit := key & 63
+	return int(words[wi] >> uint(bit))
+}
+
+// ratio is hot but NOT packed: division is allowed, only allocation rules
+// apply.
+//
+//optlint:hotpath
+func ratio(a, b int) int {
+	return a / b
+}

@@ -18,3 +18,16 @@ func step(buf []int, n int) int {
 	buf = append(buf, capture())
 	return buf[0] + *ptr
 }
+
+// scanWord is a packed kernel and leaks division back onto the key path:
+// every / and % (including the compound assignments) must be reported,
+// alongside the usual allocation rules.
+//
+//optlint:hotpath packed
+func scanWord(words []uint64, key, stride int) int {
+	wi := key / 64
+	bit := key % stride
+	wi /= 2
+	bit %= 3
+	return int(words[wi]>>uint(bit)) + wi + bit
+}

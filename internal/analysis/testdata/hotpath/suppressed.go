@@ -10,3 +10,11 @@ func grow(buf []byte, need int) []byte {
 	}
 	return buf[:need]
 }
+
+// sanctioned is packed with a justified division, suppressed in place.
+//
+//optlint:hotpath packed
+func sanctioned(n, parts int) int {
+	//optlint:allow hotpath cold setup branch: runs once per geometry, not per step
+	return n / parts
+}

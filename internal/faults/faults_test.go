@@ -27,7 +27,7 @@ func TestFaultActiveAt(t *testing.T) {
 		}
 	}
 	open := Fault{Kind: LinkOutage, Link: 0, Start: 3}
-	if open.ActiveAt(2) || !open.ActiveAt(3) || !open.ActiveAt(1 << 20) {
+	if open.ActiveAt(2) || !open.ActiveAt(3) || !open.ActiveAt(1<<20) {
 		t.Error("open-ended fault has wrong activity window")
 	}
 }

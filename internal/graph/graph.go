@@ -27,6 +27,12 @@ type Link struct {
 	From, To NodeID
 }
 
+// adjEntry pairs a neighbor with the connecting link ID so the hot
+// LinkBetween scan reads one small contiguous array per node instead of
+// bouncing through the global links table for every candidate. int32
+// coordinates keep a whole degree-4 row inside half a cache line.
+type adjEntry struct{ to, id int32 }
+
 // Graph is an undirected network whose edges are pairs of directed links.
 // Construct with New and AddEdge; a Graph is immutable once shared.
 type Graph struct {
@@ -34,6 +40,7 @@ type Graph struct {
 	links []Link         // links[id] = directed link
 	out   [][]LinkID     // out[u] = outgoing link IDs
 	in    [][]LinkID     // in[u] = incoming link IDs
+	adj   [][]adjEntry   // adj[u] = (neighbor, link) pairs, scan-friendly
 	index map[uint64]int // packed (from,to) -> LinkID
 	label func(NodeID) string
 }
@@ -47,6 +54,7 @@ func New(n int) *Graph {
 		n:     n,
 		out:   make([][]LinkID, n),
 		in:    make([][]LinkID, n),
+		adj:   make([][]adjEntry, n),
 		index: make(map[uint64]int),
 	}
 }
@@ -97,6 +105,7 @@ func (g *Graph) addLink(u, v NodeID) {
 	g.index[pack(u, v)] = id
 	g.out[u] = append(g.out[u], id)
 	g.in[v] = append(g.in[v], id)
+	g.adj[u] = append(g.adj[u], adjEntry{to: int32(v), id: int32(id)})
 }
 
 // HasEdge reports whether the undirected edge {u, v} exists.
@@ -105,8 +114,25 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	return ok
 }
 
+// linkScanMaxDegree bounds the adjacency-list scan in LinkBetween: up to
+// this degree a linear walk of out[u] beats the hash lookup (the simulator
+// resolves every path hop through LinkBetween each round, so this is a hot
+// call); denser nodes fall back to the map.
+const linkScanMaxDegree = 16
+
 // LinkBetween returns the directed link ID for u->v, and whether it exists.
 func (g *Graph) LinkBetween(u, v NodeID) (LinkID, bool) {
+	if u < 0 || u >= g.n {
+		return 0, false
+	}
+	if adj := g.adj[u]; len(adj) <= linkScanMaxDegree {
+		for _, a := range adj {
+			if int(a.to) == v {
+				return int(a.id), true
+			}
+		}
+		return 0, false
+	}
 	id, ok := g.index[pack(u, v)]
 	return id, ok
 }
@@ -114,15 +140,10 @@ func (g *Graph) LinkBetween(u, v NodeID) (LinkID, bool) {
 // Link returns the endpoints of a directed link.
 func (g *Graph) Link(id LinkID) Link { return g.links[id] }
 
-// Reverse returns the link ID of the opposite direction of id.
-func (g *Graph) Reverse(id LinkID) LinkID {
-	l := g.links[id]
-	rev, ok := g.index[pack(l.To, l.From)]
-	if !ok {
-		panic("graph: link without reverse (corrupt graph)")
-	}
-	return rev
-}
+// Reverse returns the link ID of the opposite direction of id. The two
+// directions of the k-th undirected edge are always created together as
+// IDs 2k and 2k+1 (see AddEdge), so the reverse is the XOR of the low bit.
+func (g *Graph) Reverse(id LinkID) LinkID { return id ^ 1 }
 
 // Out returns the outgoing link IDs of u. The caller must not modify it.
 func (g *Graph) Out(u NodeID) []LinkID { return g.out[u] }

@@ -250,3 +250,66 @@ func TestWriteDot(t *testing.T) {
 		t.Error("custom name ignored")
 	}
 }
+
+// TestReversePairing pins the 2k/2k+1 link pairing that Reverse relies
+// on: for every link, Reverse must return the directed opposite, agree
+// with an index lookup, and be an involution.
+func TestReversePairing(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 6)
+	g.AddEdge(6, 3)
+	g.AddEdge(0, 6)
+	for id := 0; id < g.NumLinks(); id++ {
+		l := g.Link(id)
+		rev := g.Reverse(id)
+		rl := g.Link(rev)
+		if rl.From != l.To || rl.To != l.From {
+			t.Fatalf("Reverse(%d) = %d: %v is not the opposite of %v", id, rev, rl, l)
+		}
+		if byIndex, ok := g.LinkBetween(l.To, l.From); !ok || byIndex != rev {
+			t.Fatalf("Reverse(%d) = %d, LinkBetween gives %d (ok=%v)", id, rev, byIndex, ok)
+		}
+		if g.Reverse(rev) != id {
+			t.Fatalf("Reverse is not an involution at link %d", id)
+		}
+	}
+}
+
+// TestLinkBetweenScanAndMapAgree drives LinkBetween through both the
+// small-degree adjacency scan and the high-degree map fallback (a star
+// center exceeding linkScanMaxDegree) and checks every present and
+// absent pair, including out-of-range nodes.
+func TestLinkBetweenScanAndMapAgree(t *testing.T) {
+	const leaves = linkScanMaxDegree + 8
+	g := New(leaves + 2)
+	for v := 1; v <= leaves; v++ {
+		g.AddEdge(0, v) // node 0 ends up beyond the scan threshold
+	}
+	g.AddEdge(1, 2) // a low-degree pair
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			id, ok := g.LinkBetween(u, v)
+			wantID, wantOK := g.index[pack(u, v)]
+			if ok != wantOK || (ok && id != wantID) {
+				t.Fatalf("LinkBetween(%d,%d) = %d,%v; index says %d,%v", u, v, id, ok, wantID, wantOK)
+			}
+			if ok {
+				l := g.Link(id)
+				if l.From != u || l.To != v {
+					t.Fatalf("LinkBetween(%d,%d) returned link %v", u, v, l)
+				}
+			}
+		}
+	}
+	if _, ok := g.LinkBetween(-1, 0); ok {
+		t.Error("negative node must not resolve")
+	}
+	if _, ok := g.LinkBetween(g.NumNodes(), 0); ok {
+		t.Error("out-of-range node must not resolve")
+	}
+}

@@ -6,16 +6,27 @@ import (
 	"repro/internal/graph"
 )
 
+// arenaChunk is the slab size of the train and fragment pools; a power of
+// two so the index split below is a shift and a mask.
+const (
+	arenaChunkShift = 8
+	arenaChunk      = 1 << arenaChunkShift
+)
+
 // arena pools trains and fragments across runs of one Engine. Objects are
 // bump-allocated per run and recycled wholesale on the next reset, so a
-// steady-state round allocates nothing. Each object is heap-allocated once
-// and its pointer stays valid for the Engine's lifetime; link and
-// wavelength slices keep their capacity across recycles.
+// steady-state round allocates nothing. Objects live in fixed-size slabs:
+// a handed-out pointer stays valid for the Engine's lifetime (slabs are
+// appended, never reallocated), and consecutive allocations are adjacent
+// in memory — the per-step walk over the active list visits fragments in
+// roughly allocation order, so slab locality turns the walk's pointer
+// chasing into a mostly-sequential stream. Link and wavelength slices
+// keep their capacity across recycles.
 type arena struct {
-	trains    []*train
-	nextTrain int
-	frags     []*fragment
-	nextFrag  int
+	trainSlabs [][]train
+	nextTrain  int
+	fragSlabs  [][]fragment
+	nextFrag   int
 }
 
 // reset recycles every object handed out since the previous reset.
@@ -24,39 +35,60 @@ func (a *arena) reset() {
 	a.nextFrag = 0
 }
 
-// newTrain returns a zeroed train whose links/waves buffers keep their
-// previously grown capacity (length 0).
+// newTrain returns a recycled train whose links/waves/keys buffers keep
+// their previously grown capacity. Scalar fields are NOT zeroed: every
+// spawn site (the Run worm loop, spawnAck, the dynamic launcher) assigns
+// all of them before addTrain, and addTrain reslices waves and sizes
+// keys. Only the two flags no site writes unconditionally are reset.
+//
+//optlint:hotpath
 func (a *arena) newTrain() *train {
-	if a.nextTrain == len(a.trains) {
-		a.trains = append(a.trains, &train{})
+	ci, si := a.nextTrain>>arenaChunkShift, a.nextTrain&(arenaChunk-1)
+	if ci == len(a.trainSlabs) {
+		//optlint:allow hotpath slab growth: amortized over arenaChunk allocations, none in steady state
+		a.trainSlabs = append(a.trainSlabs, make([]train, arenaChunk))
 	}
-	tr := a.trains[a.nextTrain]
+	tr := &a.trainSlabs[ci][si]
 	a.nextTrain++
-	links, waves := tr.links[:0], tr.waves[:0]
-	*tr = train{links: links, waves: waves}
+	tr.links = tr.links[:0]
+	tr.isAck = false
+	tr.cut = false
 	return tr
 }
 
-// newFrag returns an initialized fragment.
+// newFrag returns an initialized fragment. The largest usable link index
+// is fixed here (the barrier never moves after creation), so hot loops
+// read f.lim instead of recomputing it.
+//
+//optlint:hotpath
 func (a *arena) newFrag(t *train, jMin, jMax, barrier, relUpTo int) *fragment {
-	if a.nextFrag == len(a.frags) {
-		a.frags = append(a.frags, &fragment{})
+	ci, si := a.nextFrag>>arenaChunkShift, a.nextFrag&(arenaChunk-1)
+	if ci == len(a.fragSlabs) {
+		//optlint:allow hotpath slab growth: amortized over arenaChunk allocations, none in steady state
+		a.fragSlabs = append(a.fragSlabs, make([]fragment, arenaChunk))
 	}
-	f := a.frags[a.nextFrag]
+	f := &a.fragSlabs[ci][si]
+	self := int32(a.nextFrag)
 	a.nextFrag++
-	*f = fragment{t: t, jMin: jMin, jMax: jMax, barrier: barrier, relUpTo: relUpTo}
+	lim := len(t.links) - 1
+	if barrier < len(t.links) {
+		lim = barrier - 1
+	}
+	*f = fragment{t: t, start: int32(t.start), jMin: int32(jMin), jMax: int32(jMax),
+		barrier: int32(barrier), relUpTo: int32(relUpTo), lim: int32(lim), self: self}
 	return f
 }
 
 // appendPathLinks appends p's directed link IDs to dst, reusing dst's
-// capacity (the allocating equivalent is graph.Path.Links).
-func appendPathLinks(dst []graph.LinkID, g *graph.Graph, p graph.Path) []graph.LinkID {
+// capacity (the allocating equivalent is graph.Path.Links). Link IDs are
+// stored narrowed, matching train.links.
+func appendPathLinks(dst []int32, g *graph.Graph, p graph.Path) []int32 {
 	for i := 0; i+1 < len(p); i++ {
 		id, ok := g.LinkBetween(p[i], p[i+1])
 		if !ok {
 			panic(fmt.Sprintf("sim: path uses missing link %d->%d", p[i], p[i+1]))
 		}
-		dst = append(dst, id)
+		dst = append(dst, int32(id))
 	}
 	return dst
 }

@@ -104,7 +104,17 @@ func TestEngineVsReferenceAllCombos(t *testing.T) {
 								t.Fatalf("%s: collision logs %d vs %d entries",
 									label, len(fast.Collisions), len(ref.Collisions))
 							}
+							// The legacy flat path must stay byte-identical to
+							// the packed path on the same reused engine (the
+							// engine also proves it switches modes cleanly).
 							cfg.CheckInvariants = true
+							cfg.ForceFlat = true
+							flat, errFl := eng.Run(g, worms, cfg)
+							if errFl != nil {
+								t.Fatalf("%s: flat run: %v", label, errFl)
+							}
+							compareResults(t, label+"/flat", flat, ref)
+							cfg.ForceFlat = false
 							cfg.Faults = emptyPlan
 							withEmpty, errE := eng.Run(g, worms, cfg)
 							if errE != nil {
@@ -260,6 +270,65 @@ func TestAckCutRecorded(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareResults(t, "ack cut", res, ref)
+}
+
+// TestPackedVsFlatFaultMatrix drives random fault schedules — outages,
+// wavelength outages, ack losses, stuck couplers — through the packed and
+// the flat engine paths across the rule/wreckage/conversion matrix. The
+// packed path batches entrants per (band, link) bucket and masks dark
+// slots in its word scans; the flat path keeps the global entrant sort.
+// Both must produce identical Results, including the fault-kill count, or
+// the dark-slot encoding of the packed representation is wrong.
+func TestPackedVsFlatFaultMatrix(t *testing.T) {
+	g := topology.NewTorus(2, 4).Graph()
+	eng := NewEngine()
+	flatEng := NewEngine()
+	seed := uint64(777)
+	for _, rule := range []optical.Rule{optical.ServeFirst, optical.Priority} {
+		for _, wreck := range []WreckagePolicy{Drain, Vanish} {
+			for _, conv := range []func(graph.NodeID) bool{nil, FullConversion} {
+				for trial := 0; trial < 6; trial++ {
+					seed++
+					src := rng.New(seed)
+					worms := randomWorms(g, src, 28, 4, 6, 2)
+					plan := faults.MustRandom(g, 2, faults.GenConfig{
+						Horizon: 20, LinkOutages: 6, WavelengthOutages: 5,
+						AckLosses: 3, StuckCouplers: 2,
+						MinDuration: 4, MaxDuration: 14,
+					}, src.Split())
+					cfg := Config{
+						Bandwidth:        2,
+						Rule:             rule,
+						Wreckage:         wreck,
+						Conversion:       conv,
+						AckLength:        2,
+						RecordCollisions: true,
+						CheckInvariants:  true,
+						Faults:           plan.MustCompile(g, 2),
+					}
+					label := fmt.Sprintf("%v/%v/conv=%v/trial=%d", rule, wreck, conv != nil, trial)
+					packed, errP := eng.Run(g, worms, cfg)
+					if errP != nil {
+						t.Fatalf("%s: packed: %v", label, errP)
+					}
+					cfg.ForceFlat = true
+					flat, errF := flatEng.Run(g, worms, cfg)
+					if errF != nil {
+						t.Fatalf("%s: flat: %v", label, errF)
+					}
+					compareResults(t, label, packed, flat)
+					if packed.FaultKillCount != flat.FaultKillCount {
+						t.Fatalf("%s: FaultKillCount %d (packed) vs %d (flat)",
+							label, packed.FaultKillCount, flat.FaultKillCount)
+					}
+					if len(packed.Collisions) != len(flat.Collisions) {
+						t.Fatalf("%s: collision logs %d vs %d entries",
+							label, len(packed.Collisions), len(flat.Collisions))
+					}
+				}
+			}
+		}
+	}
 }
 
 // TestCalendarInconsistencyError: a corrupted spawn agenda (pending

@@ -122,6 +122,14 @@ func (e *Engine) applyFaultEvent(ev *faults.Event, t int) {
 	case faults.WavelengthOutage:
 		k := e.key(Band(f.Band), f.Link, f.Wavelength)
 		fl.slotDark[k] += d
+		// Mirror the counter into the packed dark mask: a dark slot reads
+		// as occupied-but-unclaimable, so word scans can never pick it.
+		if fl.slotDark[k] > 0 {
+			e.darkBits[k>>e.wordShift] |= 1 << uint(k&e.wordMask)
+			e.darkDirty = true
+		} else {
+			e.darkBits[k>>e.wordShift] &^= 1 << uint(k&e.wordMask)
+		}
 		if ev.Start {
 			e.killSlotOccupant(k, t)
 		}
@@ -149,7 +157,7 @@ func (e *Engine) applyFaultEvent(ev *faults.Event, t int) {
 //
 //optlint:hotpath
 func (e *Engine) killLinkOccupants(link, t int) {
-	base := link * e.cfg.Bandwidth
+	base := link << e.waveShift
 	for w := 0; w < e.cfg.Bandwidth; w++ {
 		e.killSlotOccupant(base+w, t)            // message band
 		e.killSlotOccupant(e.msgSlots+base+w, t) // ack band
@@ -163,13 +171,14 @@ func (e *Engine) killLinkOccupants(link, t int) {
 //
 //optlint:hotpath
 func (e *Engine) killSlotOccupant(k, t int) {
-	oc := e.occ[k]
-	if oc.f == nil {
+	if e.occBits[k>>e.wordShift]&(1<<uint(k&e.wordMask)) == 0 {
 		return
 	}
-	e.recordFaultKill(oc.f, oc.idx, t)
-	jCut := t - oc.f.t.start - oc.idx
-	e.split(oc.f, oc.idx, jCut, t, false)
+	oc := e.occ[k]
+	f, idx := e.fragAt(oc.fi), int(oc.idx)
+	e.recordFaultKill(f, idx, t)
+	jCut := t - f.t.start - idx
+	e.split(f, idx, jCut, t, false)
 }
 
 // faultKillEntrant destroys a fragment whose head flit tried to enter a
@@ -178,7 +187,7 @@ func (e *Engine) killSlotOccupant(k, t int) {
 //optlint:hotpath
 func (e *Engine) faultKillEntrant(f *fragment, idx, t int) {
 	e.recordFaultKill(f, idx, t)
-	e.split(f, idx, f.jMin, t, false)
+	e.split(f, idx, int(f.jMin), t, false)
 }
 
 // recordFaultKill accounts one fault kill. Unlike recordCut it does not
@@ -192,6 +201,6 @@ func (e *Engine) recordFaultKill(f *fragment, idx, t int) {
 	tr.cut = true
 	e.res.FaultKillCount++
 	if e.probe != nil {
-		e.probe.WormKilledByFault(t, int(tr.band), tr.links[idx], tr.id, tr.isAck)
+		e.probe.WormKilledByFault(t, int(tr.band), int(tr.links[idx]), tr.id, tr.isAck)
 	}
 }

@@ -28,6 +28,17 @@ func FuzzEngineVsReference(f *testing.F) {
 	f.Add([]byte{1, 0x80, 3, 1, 0, 2, 5, 1})
 	f.Add([]byte{2, 0xac, 5, 1, 3, 3, 2, 2, 7, 0, 1, 6, 0xff, 0x10})
 	f.Add([]byte{0, 0xe7, 7, 2, 9, 0, 4, 4, 4, 4, 1, 2, 3, 8, 8})
+	// Extended bandwidths via the graph byte's high bits: B ∈ {63, 64, 65}
+	// straddles the 64-slot occupancy word boundary (B=1 is cfg bits 0-1).
+	f.Add([]byte{0x10, 0x41, 3, 1, 0, 2, 5, 1, 9, 9, 9, 9})
+	f.Add([]byte{0x21, 0x04, 5, 1, 3, 3, 2, 2, 7, 0, 1, 6})
+	f.Add([]byte{0x32, 0x45, 0, 0, 0, 0, 1, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0x30, 0x67, 7, 2, 9, 0, 4, 4, 4, 4, 1, 2, 3, 8, 8})
+	// Per-link collision storms: identical worm groups (same source, path,
+	// spawn step, and wavelength) all contending for one link at once.
+	f.Add([]byte{0, 0x00, 2, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0})
+	f.Add([]byte{0, 0x10, 2, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0})
+	f.Add([]byte{0, 0x41, 2, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 4 {
 			return
@@ -38,14 +49,18 @@ func FuzzEngineVsReference(f *testing.F) {
 		}
 		cfg.CheckInvariants = true
 		fast, errF := Run(g, worms, cfg)
+		cfg.ForceFlat = true
+		flat, errFl := Run(g, worms, cfg)
+		cfg.ForceFlat = false
 		cfg.CheckInvariants = false
 		ref, errR := RunReference(g, worms, cfg)
-		if (errF != nil) != (errR != nil) {
-			t.Fatalf("error disagreement: engine %v, reference %v", errF, errR)
+		if (errF != nil) != (errR != nil) || (errFl != nil) != (errR != nil) {
+			t.Fatalf("error disagreement: packed %v, flat %v, reference %v", errF, errFl, errR)
 		}
 		if errF != nil {
 			return
 		}
+		compareResults(t, "flat-vs-packed", flat, fast)
 		for i := range worms {
 			if fast.Outcomes[i] != ref.Outcomes[i] {
 				t.Fatalf("worm %d: engine %+v vs reference %+v (worm %+v)",
@@ -68,6 +83,10 @@ func FuzzEngineVsReference(f *testing.F) {
 // Config byte layout: bits 0-1 bandwidth-1, bit 2 rule, bit 3 wreckage,
 // bit 4 tie, bit 5 ack length, bit 6 wavelength conversion, bit 7
 // attached empty fault plan (must not change any result byte).
+// Graph byte: low bits pick the topology; bits 4-5, when nonzero,
+// override the bandwidth to 62+ext ∈ {63, 64, 65} so the packed path's
+// 64-slot word boundary is exercised (zero keeps the config-byte
+// bandwidth, so the original corpus decodes unchanged).
 func decodeScenario(data []byte) (*graph.Graph, []Worm, Config) {
 	next := func() byte {
 		if len(data) == 0 {
@@ -82,7 +101,8 @@ func decodeScenario(data []byte) (*graph.Graph, []Worm, Config) {
 		topology.NewRing(5).Graph(),
 		topology.NewTorus(2, 3).Graph(),
 	}
-	g := graphs[int(next())%len(graphs)]
+	gb := next()
+	g := graphs[int(gb)%len(graphs)]
 	cfgByte := next()
 	cfg := Config{
 		Bandwidth: 1 + int(cfgByte&3),
@@ -93,6 +113,9 @@ func decodeScenario(data []byte) (*graph.Graph, []Worm, Config) {
 	}
 	if cfgByte>>6&1 == 1 {
 		cfg.Conversion = FullConversion
+	}
+	if ext := int(gb>>4) & 3; ext > 0 {
+		cfg.Bandwidth = 62 + ext
 	}
 	if cfgByte>>7&1 == 1 {
 		cfg.Faults = (&faults.Plan{}).MustCompile(g, cfg.Bandwidth)

@@ -24,6 +24,8 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"repro/internal/faults"
 	"repro/internal/graph"
@@ -98,6 +100,12 @@ type Config struct {
 	// predictable branch per hook site; attaching a probe never changes
 	// the simulation result.
 	Probe telemetry.Probe
+	// ForceFlat selects the legacy flat engine path — a global entrant
+	// sort per step and linear conversion scans — instead of the default
+	// word-packed path (per-(band,link) bitmask words with batched bucket
+	// resolution). The two paths are result- and probe-identical; the
+	// flat path exists for debugging and differential testing.
+	ForceFlat bool
 	// CheckInvariants enables per-step internal consistency checks
 	// (occupancy table vs. fragment windows). For tests; slows the run.
 	CheckInvariants bool
@@ -226,12 +234,23 @@ func (r *Result) Delivered(i int) bool { return r.Outcomes[i].Delivered }
 // validator holds the scratch the worm-spec checks need. Pooling one on an
 // Engine makes steady-state validation allocation-free: the ID set keeps
 // its buckets across clear(), and the per-link stamp array replaces the
-// per-worm distinct-link map.
+// per-worm distinct-link map. The revisit check resolves every path hop to
+// its directed link anyway, so check also records the resolved link IDs;
+// Engine.Run consumes them via links() instead of resolving the paths a
+// second time.
 type validator struct {
-	ids  map[int]bool
-	mark []int // per-link generation stamp
-	gen  int
+	ids     []int32 // per-ID generation stamp (dense IDs); overflow in idsBig
+	idsBig  map[int]bool
+	idGen   int32
+	mark    []int32 // per-link generation stamp (int32 halves the footprint)
+	gen     int32
+	linkBuf []graph.LinkID // resolved links of all worms, concatenated
+	off     []int          // off[i]..off[i+1] bounds worm i's links
 }
+
+// links returns the resolved directed link IDs of worm i from the last
+// successful check call. The slice aliases validator scratch.
+func (v *validator) links(i int) []graph.LinkID { return v.linkBuf[v.off[i]:v.off[i+1]] }
 
 func (v *validator) check(g *graph.Graph, worms []Worm, cfg Config) error {
 	if cfg.Bandwidth < 1 {
@@ -240,45 +259,72 @@ func (v *validator) check(g *graph.Graph, worms []Worm, cfg Config) error {
 	if cfg.AckLength < 0 {
 		return fmt.Errorf("sim: negative ack length %d", cfg.AckLength)
 	}
+	// The engine caches slot keys as int32 (train.keys, the optimistic
+	// claim slot): bound the whole padded key space accordingly. Any
+	// geometry near this limit is unrunnable anyway — the occupant table
+	// alone would need tens of gigabytes.
+	if shift := uint(bits.Len(uint(cfg.Bandwidth - 1))); uint64(2*g.NumLinks())<<shift > math.MaxInt32 {
+		return fmt.Errorf("sim: occupancy key space (%d links, bandwidth %d) exceeds int32",
+			g.NumLinks(), cfg.Bandwidth)
+	}
 	if cfg.Faults != nil && !cfg.Faults.Matches(g.NumLinks(), g.NumNodes(), cfg.Bandwidth) {
 		return fmt.Errorf("sim: fault schedule compiled for a different graph or bandwidth")
 	}
-	if v.ids == nil {
-		v.ids = make(map[int]bool, len(worms))
-	} else {
+	v.idGen++
+	if v.idGen == 0 { // stamp wrap: invalidate every stale stamp once
 		clear(v.ids)
+		v.idGen = 1
+	}
+	if v.idsBig != nil {
+		clear(v.idsBig)
 	}
 	if len(v.mark) < g.NumLinks() {
-		v.mark = make([]int, g.NumLinks())
+		v.mark = make([]int32, g.NumLinks())
 		v.gen = 0
 	}
+	v.linkBuf = v.linkBuf[:0]
+	v.off = append(v.off[:0], 0)
 	for i := range worms {
 		w := &worms[i]
 		if w.ID < 0 {
 			return fmt.Errorf("sim: worm %d has negative ID %d", i, w.ID)
 		}
-		if v.ids[w.ID] {
+		if v.markID(w.ID) {
 			return fmt.Errorf("sim: duplicate worm ID %d", w.ID)
 		}
-		v.ids[w.ID] = true
-		if err := w.Path.Validate(g); err != nil {
-			return fmt.Errorf("sim: worm %d: %w", w.ID, err)
+		// One fused pass does the work Path.Validate plus a revisit scan
+		// would: node bounds, link resolution, and the distinct-link check
+		// (a worm occupies a contiguous run of DISTINCT links, Section 1.1;
+		// a path revisiting a directed link would collide with itself,
+		// which the model has no physics for). Error texts match what the
+		// old wrapped Path.Validate produced.
+		p := w.Path
+		if len(p) == 0 {
+			return fmt.Errorf("sim: worm %d: graph: empty path", w.ID)
 		}
-		if w.Path.Len() == 0 {
+		if p[0] < 0 || p[0] >= g.NumNodes() {
+			return fmt.Errorf("sim: worm %d: graph: path node %d out of range [0,%d)", w.ID, p[0], g.NumNodes())
+		}
+		if len(p) == 1 {
 			return fmt.Errorf("sim: worm %d has a zero-length path", w.ID)
 		}
-		// A worm occupies a contiguous run of DISTINCT links (Section 1.1);
-		// a path revisiting a directed link would make the worm collide
-		// with itself, which the model has no physics for. Validate above
-		// guarantees every step resolves to a link.
 		v.gen++
-		for j := 0; j+1 < len(w.Path); j++ {
-			id, _ := g.LinkBetween(w.Path[j], w.Path[j+1])
+		for j := 0; j+1 < len(p); j++ {
+			u, x := p[j], p[j+1]
+			if x < 0 || x >= g.NumNodes() {
+				return fmt.Errorf("sim: worm %d: graph: path node %d out of range [0,%d)", w.ID, x, g.NumNodes())
+			}
+			id, ok := g.LinkBetween(u, x)
+			if !ok {
+				return fmt.Errorf("sim: worm %d: graph: path step %d: no link %d->%d", w.ID, j, u, x)
+			}
 			if v.mark[id] == v.gen {
 				return fmt.Errorf("sim: worm %d revisits a directed link", w.ID)
 			}
 			v.mark[id] = v.gen
+			v.linkBuf = append(v.linkBuf, id)
 		}
+		v.off = append(v.off, len(v.linkBuf))
 		if w.Length < 1 {
 			return fmt.Errorf("sim: worm %d has length %d < 1", w.ID, w.Length)
 		}
@@ -290,6 +336,36 @@ func (v *validator) check(g *graph.Graph, worms []Worm, cfg Config) error {
 		}
 	}
 	return nil
+}
+
+// idStampCap bounds the dense duplicate-ID stamp array; IDs at or above
+// it (callers with sparse, huge identifiers) fall back to a map.
+const idStampCap = 1 << 20
+
+// markID records worm ID id in the duplicate set and reports whether it
+// was already present. Small IDs use a generation-stamped array (no map
+// work in steady state); huge IDs use the overflow map.
+func (v *validator) markID(id int) (dup bool) {
+	if id < idStampCap {
+		if id >= len(v.ids) {
+			next := make([]int32, id+1)
+			copy(next, v.ids)
+			v.ids = next
+		}
+		if v.ids[id] == v.idGen {
+			return true
+		}
+		v.ids[id] = v.idGen
+		return false
+	}
+	if v.idsBig == nil {
+		v.idsBig = make(map[int]bool)
+	}
+	if v.idsBig[id] {
+		return true
+	}
+	v.idsBig[id] = true
+	return false
 }
 
 // validate checks the configuration and worm specs with one-shot scratch.
