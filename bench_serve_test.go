@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // serveSpec is the benchmark job: a 4x4 torus permutation sweep.
@@ -47,6 +48,63 @@ func BenchmarkServeCacheHit(b *testing.B) {
 		}
 		if !fromCache || res == nil {
 			b.Fatal("benchmark job missed the cache")
+		}
+	}
+}
+
+// serveDynamicSpec is the trace-replay benchmark job: a generated
+// Poisson trace replayed once on a 4x4 torus. The trace is generated
+// per call from a fixed workload spec — deterministic, so every
+// invocation builds the same job key.
+func serveDynamicSpec(tb testing.TB, seed uint64) jobs.Spec {
+	tb.Helper()
+	tr, err := workload.Spec{
+		Nodes:   16,
+		Horizon: 120,
+		Seed:    7,
+		Cohorts: []workload.Cohort{{
+			Name:     "bench",
+			Arrivals: workload.ArrivalSpec{Kind: workload.KindPoisson, Rate: 0.5},
+		}},
+	}.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return jobs.Spec{Dynamic: &jobs.DynamicSpec{
+		Network:  jobs.NetworkSpec{Kind: "torus", Dims: 2, Side: 4},
+		Trace:    tr,
+		Protocol: jobs.DynamicProtocolSpec{Bandwidth: 2, Length: 4, AckLength: 1},
+		Seed:     seed,
+		Trials:   1,
+	}}
+}
+
+// BenchmarkServeDynamicSubmit measures a cold trace-replay submission:
+// hash the trace-bearing spec, replay it, checkpoint and store. Each
+// iteration uses a distinct protocol seed so nothing is ever cached.
+func BenchmarkServeDynamicSubmit(b *testing.B) {
+	store, err := jobs.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	exec := &jobs.Executor{Store: store}
+	eng := sim.NewEngine()
+	spec := serveDynamicSpec(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := spec
+		s.Dynamic = &jobs.DynamicSpec{
+			Network: spec.Dynamic.Network, Trace: spec.Dynamic.Trace,
+			Protocol: spec.Dynamic.Protocol, Seed: uint64(i) + 1, Trials: 1,
+		}
+		res, fromCache, err := exec.Run(s, eng, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fromCache || res == nil {
+			b.Fatal("cold dynamic submission claimed a cache hit")
 		}
 	}
 }
@@ -98,6 +156,7 @@ func TestEmitBenchServe(t *testing.T) {
 	}{
 		{"BenchmarkServeCacheHit", BenchmarkServeCacheHit},
 		{"BenchmarkServeSubmit", BenchmarkServeSubmit},
+		{"BenchmarkServeDynamicSubmit", BenchmarkServeDynamicSubmit},
 	} {
 		r := testing.Benchmark(bench.fn)
 		points = append(points, point{

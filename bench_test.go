@@ -258,9 +258,12 @@ func TestEmitBenchTrajectory(t *testing.T) {
 
 // TestBenchRegressionGuard re-measures the steady-state kernel points of
 // the checked-in BENCH_sim.json baseline and fails if any regresses more
-// than 15% in ns/op, or allocates when the baseline did not. Each point
-// takes the best of three runs to damp scheduler noise. Gated on an env
-// var so plain `go test` stays fast; run with
+// than 15% in ns/op, or allocates when the baseline did not. It then
+// re-measures the serving hot paths against BENCH_serve.json with a
+// looser 50% slack (they are store-I/O and JSON bound, so they wobble
+// more than the pure kernel). Each point takes the best of three runs to
+// damp scheduler noise. Gated on an env var so plain `go test` stays
+// fast; run with
 //
 //	BENCH_GUARD=1 go test -run TestBenchRegressionGuard .
 func TestBenchRegressionGuard(t *testing.T) {
@@ -318,6 +321,55 @@ func TestBenchRegressionGuard(t *testing.T) {
 		}
 		if bestAllocs > p.AllocsOp {
 			t.Errorf("torus_side=%d allocates %d allocs/op, baseline %d", side, bestAllocs, p.AllocsOp)
+		}
+	}
+
+	// Serving hot paths: wider ns slack (store I/O, JSON), and allocs may
+	// drift a little with encoding details — guard at +10%.
+	serveData, err := os.ReadFile("BENCH_serve.json")
+	if err != nil {
+		t.Fatalf("reading serving baseline: %v", err)
+	}
+	var servePoints []struct {
+		Bench    string `json:"bench"`
+		NsPerOp  int64  `json:"ns_per_op"`
+		AllocsOp int64  `json:"allocs_per_op"`
+	}
+	if err := json.Unmarshal(serveData, &servePoints); err != nil {
+		t.Fatalf("parsing serving baseline: %v", err)
+	}
+	serveBenches := map[string]func(*testing.B){
+		"BenchmarkServeCacheHit":      BenchmarkServeCacheHit,
+		"BenchmarkServeSubmit":        BenchmarkServeSubmit,
+		"BenchmarkServeDynamicSubmit": BenchmarkServeDynamicSubmit,
+	}
+	const serveSlackPct, serveAllocSlackPct = 50, 10
+	for _, p := range servePoints {
+		fn, ok := serveBenches[p.Bench]
+		if !ok {
+			t.Errorf("serving baseline names unknown benchmark %q", p.Bench)
+			continue
+		}
+		bestNs, bestAllocs := int64(math.MaxInt64), int64(math.MaxInt64)
+		for run := 0; run < 3; run++ {
+			r := testing.Benchmark(fn)
+			if ns := r.NsPerOp(); ns < bestNs {
+				bestNs = ns
+			}
+			if a := r.AllocsPerOp(); a < bestAllocs {
+				bestAllocs = a
+			}
+		}
+		limit := p.NsPerOp * (100 + serveSlackPct) / 100
+		t.Logf("%s: %d ns/op (baseline %d, limit %d), %d allocs/op (baseline %d)",
+			p.Bench, bestNs, p.NsPerOp, limit, bestAllocs, p.AllocsOp)
+		if bestNs > limit {
+			t.Errorf("%s regressed: %d ns/op exceeds baseline %d by more than %d%%",
+				p.Bench, bestNs, p.NsPerOp, serveSlackPct)
+		}
+		if allocLimit := p.AllocsOp * (100 + serveAllocSlackPct) / 100; bestAllocs > allocLimit {
+			t.Errorf("%s allocates %d allocs/op, baseline %d (+%d%% limit %d)",
+				p.Bench, bestAllocs, p.AllocsOp, serveAllocSlackPct, allocLimit)
 		}
 	}
 }

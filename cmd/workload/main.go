@@ -1,0 +1,344 @@
+// Command workload generates, inspects, diffs and submits open-loop
+// traffic traces (internal/workload). A trace is the replayable unit of
+// the dynamic regime: its canonical encoding is its content address, so
+// the same workload — regenerated or decoded from disk — dedupes to one
+// optnetd job.
+//
+// Usage:
+//
+//	workload gen -nodes 64 -horizon 2000 -rate 2 -o trace.owtr
+//	workload gen -spec spec.json -o trace.owtr
+//	workload inspect trace.owtr
+//	workload diff a.owtr b.owtr
+//	workload job -trace trace.owtr -network torus:2:8 -B 2 -L 4
+//	workload job -trace trace.owtr -network torus:2:8 -B 2 -L 4 -submit http://localhost:9090
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/canon"
+	"repro/internal/jobs"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "job":
+		err = cmdJob(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: workload gen|inspect|diff|job [flags]")
+	os.Exit(2)
+}
+
+// cmdGen materializes a trace from a spec file or inline one-cohort
+// flags and writes its versioned encoding.
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		specFile = fs.String("spec", "", "workload spec JSON file (overrides the inline flags)")
+		out      = fs.String("o", "trace.owtr", "output trace file (- for stdout)")
+		nodes    = fs.Int("nodes", 64, "node count")
+		horizon  = fs.Int("horizon", 1000, "generation horizon in steps")
+		seed     = fs.Uint64("seed", 1, "generation seed")
+		process  = fs.String("process", "poisson", "arrival process: poisson|onoff|diurnal|bursts")
+		rate     = fs.Float64("rate", 1, "arrival rate in requests/step (see ArrivalSpec.Rate)")
+		srcDist  = fs.String("src", "uniform", "source distribution: uniform|zipf")
+		dstDist  = fs.String("dst", "uniform", "destination distribution: uniform|zipf|bitreverse|transpose")
+		spots    = fs.Int("spots", 0, "zipf hotspot count (0 = default)")
+		skew     = fs.Float64("skew", 0, "zipf skew exponent (0 = default)")
+	)
+	fs.Parse(args)
+	var spec workload.Spec
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return fmt.Errorf("%s: %w", *specFile, err)
+		}
+	} else {
+		spec = workload.Spec{
+			Nodes:   *nodes,
+			Horizon: *horizon,
+			Seed:    *seed,
+			Cohorts: []workload.Cohort{{
+				Name:         "cli",
+				Arrivals:     workload.ArrivalSpec{Kind: *process, Rate: *rate},
+				Sources:      workload.Dist{Kind: *srcDist, Spots: *spots, Skew: *skew},
+				Destinations: workload.Dist{Kind: *dstDist, Spots: *spots, Skew: *skew},
+			}},
+		}
+	}
+	tr, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	enc, err := tr.Encode()
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	key, err := tr.Key()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace %s: %d arrivals over %d steps on %d nodes (%d bytes)\n",
+		key[:12], len(tr.Arrivals), tr.Horizon, tr.Nodes, len(enc))
+	return nil
+}
+
+// readTrace decodes one trace file.
+func readTrace(path string) (*workload.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// cmdInspect prints a trace's content address, geometry and summary
+// statistics (or, with -json, its canonical payload).
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the canonical JSON payload instead of the summary")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("inspect needs exactly one trace file")
+	}
+	tr, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		b, err := canon.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", b)
+		return nil
+	}
+	key, err := tr.Key()
+	if err != nil {
+		return err
+	}
+	s := tr.Stats()
+	fmt.Printf("key:          %s\n", key)
+	fmt.Printf("version:      %d\n", tr.Version)
+	fmt.Printf("nodes:        %d\n", tr.Nodes)
+	fmt.Printf("horizon:      %d\n", tr.Horizon)
+	fmt.Printf("arrivals:     %d (%.3f req/step)\n", s.Arrivals, s.OfferedLoad)
+	fmt.Printf("peak:         %d arrivals at step %d\n", s.PeakCount, s.PeakStep)
+	fmt.Printf("endpoints:    %d sources, %d destinations (top dest %.1f%%)\n",
+		s.Sources, s.Destinations, 100*s.TopDestShare)
+	if tr.Spec != nil {
+		for i, c := range tr.Spec.Cohorts {
+			n := 0
+			if i < len(s.PerCohort) {
+				n = s.PerCohort[i]
+			}
+			fmt.Printf("cohort %d:     %q %s rate=%g -> %d arrivals\n",
+				i, c.Name, c.Arrivals.Kind, c.Arrivals.Rate, n)
+		}
+	}
+	return nil
+}
+
+// cmdDiff compares two traces and exits nonzero when they differ.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs exactly two trace files")
+	}
+	a, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := readTrace(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	ka, err := a.Key()
+	if err != nil {
+		return err
+	}
+	kb, err := b.Key()
+	if err != nil {
+		return err
+	}
+	if ka == kb {
+		fmt.Printf("identical: %s\n", ka)
+		return nil
+	}
+	fmt.Printf("keys differ: %s vs %s\n", ka[:12], kb[:12])
+	if a.Nodes != b.Nodes || a.Horizon != b.Horizon {
+		fmt.Printf("geometry: %d nodes/%d steps vs %d nodes/%d steps\n",
+			a.Nodes, a.Horizon, b.Nodes, b.Horizon)
+	}
+	if len(a.Arrivals) != len(b.Arrivals) {
+		fmt.Printf("arrivals: %d vs %d\n", len(a.Arrivals), len(b.Arrivals))
+	}
+	n := min(len(a.Arrivals), len(b.Arrivals))
+	for i := 0; i < n; i++ {
+		if a.Arrivals[i] != b.Arrivals[i] {
+			fmt.Printf("first divergence at arrival %d: %+v vs %+v\n", i, a.Arrivals[i], b.Arrivals[i])
+			break
+		}
+	}
+	os.Exit(1)
+	return nil
+}
+
+// parseNetwork parses the kind:params shorthand: torus:dims:side,
+// mesh:dims:side, hypercube:dim, ccc:dim, star:dim, ring:size,
+// circulant:size:o1,o2,...
+func parseNetwork(s string) (jobs.NetworkSpec, error) {
+	parts := strings.Split(s, ":")
+	atoi := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("network %q: missing parameter %d", s, i)
+		}
+		return strconv.Atoi(parts[i])
+	}
+	var n jobs.NetworkSpec
+	n.Kind = parts[0]
+	var err error
+	switch n.Kind {
+	case "torus", "mesh":
+		if n.Dims, err = atoi(1); err != nil {
+			return n, err
+		}
+		if n.Side, err = atoi(2); err != nil {
+			return n, err
+		}
+	case "hypercube", "ccc", "star":
+		if n.Dim, err = atoi(1); err != nil {
+			return n, err
+		}
+	case "ring":
+		if n.Size, err = atoi(1); err != nil {
+			return n, err
+		}
+	case "circulant":
+		if n.Size, err = atoi(1); err != nil {
+			return n, err
+		}
+		if len(parts) < 3 {
+			return n, fmt.Errorf("network %q: circulant needs offsets", s)
+		}
+		for _, o := range strings.Split(parts[2], ",") {
+			v, err := strconv.Atoi(o)
+			if err != nil {
+				return n, err
+			}
+			n.Offsets = append(n.Offsets, v)
+		}
+	default:
+		return n, fmt.Errorf("unknown network kind %q", n.Kind)
+	}
+	return n, nil
+}
+
+// cmdJob wraps a trace into a dynamic job spec and prints the optnetd
+// submission envelope — or submits it directly with -submit.
+func cmdJob(args []string) error {
+	fs := flag.NewFlagSet("job", flag.ExitOnError)
+	var (
+		traceFile = fs.String("trace", "", "trace file (required)")
+		network   = fs.String("network", "torus:2:8", "network shorthand (torus:dims:side, hypercube:dim, ring:size, ...)")
+		bandw     = fs.Int("B", 2, "bandwidth (wavelengths)")
+		length    = fs.Int("L", 4, "worm length (flits)")
+		rule      = fs.String("rule", "serve-first", "rule: serve-first|priority")
+		acks      = fs.Int("ack", 1, "ack length (0 = oracle)")
+		backoff   = fs.String("backoff", "exponential", "backoff policy: exponential|fixed")
+		attempts  = fs.Int("attempts", 0, "attempt budget (0 = default)")
+		seed      = fs.Uint64("seed", 1, "protocol seed")
+		trials    = fs.Int("trials", 1, "replay count")
+		priority  = fs.Int("priority", 0, "queue priority (higher first)")
+		submit    = fs.String("submit", "", "optnetd base URL; submit instead of printing the envelope")
+	)
+	fs.Parse(args)
+	if *traceFile == "" {
+		return fmt.Errorf("job needs -trace")
+	}
+	tr, err := readTrace(*traceFile)
+	if err != nil {
+		return err
+	}
+	net, err := parseNetwork(*network)
+	if err != nil {
+		return err
+	}
+	spec := jobs.Spec{Dynamic: &jobs.DynamicSpec{
+		Network: net,
+		Trace:   tr,
+		Protocol: jobs.DynamicProtocolSpec{
+			Bandwidth:   *bandw,
+			Length:      *length,
+			Rule:        *rule,
+			AckLength:   *acks,
+			Backoff:     *backoff,
+			MaxAttempts: *attempts,
+		},
+		Seed:   *seed,
+		Trials: *trials,
+	}}
+	if _, err := spec.Key(); err != nil {
+		return err
+	}
+	if *submit != "" {
+		c := jobs.Client{BaseURL: *submit}
+		st, err := c.Submit(spec, *priority)
+		if err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", b)
+		return nil
+	}
+	env, err := canon.MarshalIndent(jobs.SubmitRequest{Spec: spec, Priority: *priority}, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", env)
+	return nil
+}

@@ -15,6 +15,7 @@ var deterministicPackages = []string{
 	"internal/paths",
 	"internal/faults",
 	"internal/jobs",
+	"internal/workload",
 }
 
 // MapIter reports `range` statements over maps in the deterministic

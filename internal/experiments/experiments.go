@@ -167,6 +167,7 @@ var Registry = map[string]Runner{
 	"F5":  F5WitnessDepths,
 	"R1":  R1MeshRobustness,
 	"R2":  R2ButterflyRobustness,
+	"W1":  W1Saturation,
 	"S1":  S1Scorecard,
 }
 

@@ -98,12 +98,17 @@ type Result struct {
 	Trials []TrialSummary `json:"trials"`
 	// Aggregate summarizes the trials (route jobs).
 	Aggregate Aggregate `json:"aggregate"`
-	// Telemetry is the fold of the per-trial snapshots (route jobs).
+	// Telemetry is the fold of the per-trial snapshots (route and dynamic
+	// jobs).
 	Telemetry *telemetry.Snapshot `json:"telemetry"`
 	// Table is the experiment table's canonical JSON (experiment jobs).
 	Table json.RawMessage `json:"table,omitempty"`
 	// Text is the experiment's rendered report (experiment jobs).
 	Text string `json:"text,omitempty"`
+	// DynamicTrials are the per-replay summaries (dynamic jobs).
+	DynamicTrials []DynamicTrialSummary `json:"dynamic_trials,omitempty"`
+	// DynamicAggregate summarizes the replays (dynamic jobs).
+	DynamicAggregate DynamicAggregate `json:"dynamic_aggregate"`
 }
 
 // checkpoint is the durable mid-sweep state written after every completed
@@ -115,6 +120,8 @@ type checkpoint struct {
 	Done      int                 `json:"done"`
 	Trials    []TrialSummary      `json:"trials"`
 	Telemetry *telemetry.Snapshot `json:"telemetry"`
+	// DynamicTrials replaces Trials for dynamic trace-replay jobs.
+	DynamicTrials []DynamicTrialSummary `json:"dynamic_trials,omitempty"`
 }
 
 // resultKey and checkpointKey namespace the store: both object kinds of
@@ -169,9 +176,12 @@ func (e *Executor) Run(spec Spec, eng *sim.Engine, progress func(done, total int
 		}
 	}
 	var res *Result
-	if norm.Experiment != nil {
+	switch {
+	case norm.Experiment != nil:
 		res, err = e.runExperiment(key, norm)
-	} else {
+	case norm.Dynamic != nil:
+		res, err = e.runDynamic(key, norm, eng, progress, canceled)
+	default:
 		res, err = e.runRoute(key, norm, eng, progress, canceled)
 	}
 	if err != nil {

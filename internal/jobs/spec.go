@@ -25,11 +25,11 @@ import (
 	"repro/internal/topology"
 )
 
-// Spec is the canonical description of one job. Exactly one of Route and
-// Experiment must be set. The job key is the SHA-256 of the normalized
-// spec's canonical encoding (see canon), so two requests that spell the
-// same configuration differently — defaults omitted vs. explicit, JSON
-// fields reordered — share one key and one stored result.
+// Spec is the canonical description of one job. Exactly one of Route,
+// Experiment and Dynamic must be set. The job key is the SHA-256 of the
+// normalized spec's canonical encoding (see canon), so two requests that
+// spell the same configuration differently — defaults omitted vs.
+// explicit, JSON fields reordered — share one key and one stored result.
 type Spec struct {
 	// Route runs the Trial-and-Failure protocol on a declared network,
 	// workload and parameter set for a number of trials.
@@ -37,6 +37,11 @@ type Spec struct {
 	// Experiment runs one of the repo's named experiment tables (A1, E7,
 	// R1, ...) through the injected ExperimentRunner.
 	Experiment *ExperimentSpec `json:"experiment,omitempty"`
+	// Dynamic replays an open-loop workload trace (internal/workload)
+	// through sim.RunDynamic on a declared network. The full trace is part
+	// of the spec, so the job key content-addresses the exact arrivals:
+	// identical workloads dedupe in the store however they were generated.
+	Dynamic *DynamicSpec `json:"dynamic,omitempty"`
 }
 
 // RouteSpec declares a protocol sweep: the network, the request workload
@@ -175,20 +180,36 @@ func (s Spec) Normalized() Spec {
 		e := *s.Experiment
 		out.Experiment = &e
 	}
+	if s.Dynamic != nil {
+		out.Dynamic = s.Dynamic.normalized()
+	}
 	return out
 }
 
 // Validate checks the spec against the supported kinds and size limits
 // (limits keep a single submission from monopolizing a worker).
 func (s Spec) Validate() error {
-	if (s.Route == nil) == (s.Experiment == nil) {
-		return fmt.Errorf("jobs: spec needs exactly one of route and experiment")
+	set := 0
+	if s.Route != nil {
+		set++
+	}
+	if s.Experiment != nil {
+		set++
+	}
+	if s.Dynamic != nil {
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("jobs: spec needs exactly one of route, experiment and dynamic")
 	}
 	if s.Experiment != nil {
 		if s.Experiment.ID == "" {
 			return fmt.Errorf("jobs: experiment spec needs an id")
 		}
 		return nil
+	}
+	if s.Dynamic != nil {
+		return s.Dynamic.validate()
 	}
 	r := s.Route
 	if r.Trials < 0 || r.Trials > 10000 {
@@ -362,32 +383,9 @@ func buildCollection(n NetworkSpec, w WorkloadSpec, src *rng.Source) (*paths.Col
 		return paths.Build(b.Graph(), prs, paths.ButterflySelector(b))
 	}
 
-	var sel paths.Selector
-	var g *graph.Graph
-	switch n.Kind {
-	case "torus":
-		t := topology.NewTorus(n.Dims, n.Side)
-		g, sel = t.Graph(), paths.DimOrderTorus(t)
-	case "mesh":
-		m := topology.NewMesh(n.Dims, n.Side)
-		g, sel = m.Graph(), paths.DimOrderMesh(m)
-	case "hypercube":
-		h := topology.NewHypercube(n.Dim)
-		g, sel = h.Graph(), paths.BitFixing(h)
-	case "ring":
-		r := topology.NewRing(n.Size)
-		g, sel = r.Graph(), paths.TranslationSystem(r)
-	case "circulant":
-		c := topology.NewCirculant(n.Size, n.Offsets)
-		g, sel = c.Graph(), paths.TranslationSystem(c)
-	case "ccc":
-		c := topology.NewCCC(n.Dim)
-		g, sel = c.Graph(), paths.TranslationSystem(c)
-	case "star":
-		s := topology.NewStarGraph(n.Dim)
-		g, sel = s.Graph(), paths.TranslationSystem(s)
-	default:
-		return nil, fmt.Errorf("jobs: unknown network kind %q", n.Kind)
+	g, sel, err := buildNetwork(n)
+	if err != nil {
+		return nil, err
 	}
 	var prs []paths.Pair
 	switch w.Kind {
@@ -401,4 +399,36 @@ func buildCollection(n NetworkSpec, w WorkloadSpec, src *rng.Source) (*paths.Col
 		return nil, fmt.Errorf("jobs: unknown workload kind %q", w.Kind)
 	}
 	return paths.Build(g, prs, sel)
+}
+
+// buildNetwork constructs a node-addressed topology's graph and its
+// canonical selector. Butterflies are excluded: their selector routes
+// input terminals to output terminals, not node to node, so they get a
+// dedicated path in buildCollection (and are rejected for dynamic jobs).
+func buildNetwork(n NetworkSpec) (*graph.Graph, paths.Selector, error) {
+	switch n.Kind {
+	case "torus":
+		t := topology.NewTorus(n.Dims, n.Side)
+		return t.Graph(), paths.DimOrderTorus(t), nil
+	case "mesh":
+		m := topology.NewMesh(n.Dims, n.Side)
+		return m.Graph(), paths.DimOrderMesh(m), nil
+	case "hypercube":
+		h := topology.NewHypercube(n.Dim)
+		return h.Graph(), paths.BitFixing(h), nil
+	case "ring":
+		r := topology.NewRing(n.Size)
+		return r.Graph(), paths.TranslationSystem(r), nil
+	case "circulant":
+		c := topology.NewCirculant(n.Size, n.Offsets)
+		return c.Graph(), paths.TranslationSystem(c), nil
+	case "ccc":
+		c := topology.NewCCC(n.Dim)
+		return c.Graph(), paths.TranslationSystem(c), nil
+	case "star":
+		s := topology.NewStarGraph(n.Dim)
+		return s.Graph(), paths.TranslationSystem(s), nil
+	default:
+		return nil, nil, fmt.Errorf("jobs: unknown network kind %q", n.Kind)
+	}
 }

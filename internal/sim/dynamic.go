@@ -87,6 +87,11 @@ func (f FixedBackoff) Backoff(int) int {
 // Name implements RetryPolicy.
 func (f FixedBackoff) Name() string { return "fixed" }
 
+// DefaultMaxAttempts is the launch budget applied when
+// DynamicConfig.MaxAttempts is zero: a request is abandoned (GaveUp)
+// after 50 unacknowledged launches.
+const DefaultMaxAttempts = 50
+
 // DynamicConfig parameterizes RunDynamic.
 type DynamicConfig struct {
 	// Sim provides the link-level parameters (bandwidth, rule, wreckage,
@@ -96,8 +101,12 @@ type DynamicConfig struct {
 	// Retry provides the per-attempt backoff; nil means
 	// ExponentialBackoff{Base: 2*L} per request.
 	Retry RetryPolicy
-	// MaxAttempts gives up on a request after this many launches
-	// (0 = 50, a generous default bounded by the step guard anyway).
+	// MaxAttempts gives up on a request after this many launches. Zero
+	// means DefaultMaxAttempts (50) — a generous budget bounded by the
+	// step guard anyway — so a zero-valued config retries, not
+	// zero-attempts. A request whose final attempt's deadline passes
+	// unacknowledged is marked GaveUp with Attempts == MaxAttempts;
+	// Delivered and GaveUp are mutually exclusive.
 	MaxAttempts int
 }
 
@@ -129,6 +138,15 @@ type DynamicResult struct {
 // out of attempts. All randomness (wavelengths, ranks, backoff draws)
 // comes from src, so runs are reproducible.
 func RunDynamic(g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Source) (*DynamicResult, error) {
+	return RunDynamicWithEngine(NewEngine(), g, reqs, cfg, src)
+}
+
+// RunDynamicWithEngine is RunDynamic on a caller-owned engine, reusing
+// its arenas and scratch across runs — the dynamic counterpart of
+// core.RunWithEngine for callers (trace-backed jobs, benchmarks) that
+// execute many runs. The engine is reset at entry; results are
+// independent of prior use.
+func RunDynamicWithEngine(e *Engine, g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Source) (*DynamicResult, error) {
 	if cfg.Sim.Bandwidth < 1 {
 		return nil, fmt.Errorf("sim: bandwidth %d < 1", cfg.Sim.Bandwidth)
 	}
@@ -160,14 +178,13 @@ func RunDynamic(g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Sour
 	}
 	maxAttempts := cfg.MaxAttempts
 	if maxAttempts == 0 {
-		maxAttempts = 50
+		maxAttempts = DefaultMaxAttempts
 	}
 	retry := cfg.Retry
 	if retry == nil {
 		retry = ExponentialBackoff{Base: 2 * maxLen}
 	}
 
-	e := NewEngine()
 	e.begin(g, cfg.Sim, 0)
 	dres := &DynamicResult{Outcomes: make([]DynamicOutcome, len(reqs))}
 	for i := range dres.Outcomes {

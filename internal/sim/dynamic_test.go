@@ -242,3 +242,104 @@ func TestBackoffPolicies(t *testing.T) {
 		t.Error("names")
 	}
 }
+
+// TestDynamicMaxAttemptsBoundary pins give-up accounting at the attempt
+// budget: the blocked request's final attempt leaves Attempts exactly at
+// the effective MaxAttempts (including the documented 0 = 50 default),
+// GaveUp set, and Delivered/GaveUp mutually exclusive for every request.
+func TestDynamicMaxAttemptsBoundary(t *testing.T) {
+	cases := []struct {
+		name         string
+		maxAttempts  int
+		wantAttempts int
+	}{
+		{"one attempt", 1, 1},
+		{"small budget", 3, 3},
+		{"odd budget", 7, 7},
+		{"zero means DefaultMaxAttempts", 0, DefaultMaxAttempts},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Permanent blocker: a worm so long it outlasts every retry
+			// window of the blocked request.
+			g := chain(4)
+			res, err := RunDynamic(g, []Request{
+				{ID: 0, Path: graph.Path{0, 1, 2, 3}, Length: 4000, Arrival: 0},
+				{ID: 1, Path: graph.Path{0, 1, 2}, Length: 2, Arrival: 5},
+			}, DynamicConfig{
+				Sim:         Config{Bandwidth: 1, Rule: optical.ServeFirst, CheckInvariants: true},
+				Retry:       FixedBackoff{Range: 4},
+				MaxAttempts: tc.maxAttempts,
+			}, rng.New(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocker, blocked := res.Outcomes[0], res.Outcomes[1]
+			if !blocker.Delivered || blocker.GaveUp {
+				t.Fatalf("blocker outcome = %+v", blocker)
+			}
+			if blocked.Delivered || !blocked.GaveUp {
+				t.Fatalf("blocked request should give up: %+v", blocked)
+			}
+			if blocked.Attempts != tc.wantAttempts {
+				t.Errorf("Attempts = %d, want exactly MaxAttempts = %d", blocked.Attempts, tc.wantAttempts)
+			}
+			if blocked.DeliveredAt != -1 || blocked.Latency != -1 {
+				t.Errorf("given-up request has delivery fields set: %+v", blocked)
+			}
+			if res.TotalAttempts != blocker.Attempts+blocked.Attempts {
+				t.Errorf("TotalAttempts = %d, want %d", res.TotalAttempts, blocker.Attempts+blocked.Attempts)
+			}
+			for i, o := range res.Outcomes {
+				if o.Delivered && o.GaveUp {
+					t.Errorf("request %d both Delivered and GaveUp", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRunDynamicWithEngineReuse pins engine reuse: back-to-back runs on
+// one engine match fresh-engine runs exactly.
+func TestRunDynamicWithEngineReuse(t *testing.T) {
+	tor := topology.NewTorus(2, 5)
+	g := tor.Graph()
+	build := func() []Request {
+		src := rng.New(99)
+		reqs := make([]Request, 0, 30)
+		for i := 0; i < 30; i++ {
+			a, b := src.Intn(10), src.Intn(10)
+			if a == b {
+				b = (b + 1) % 10
+			}
+			reqs = append(reqs, Request{ID: i, Path: g.ShortestPath(a, b), Length: 3, Arrival: src.Intn(40)})
+		}
+		return reqs
+	}
+	cfg := DynamicConfig{
+		Sim:   Config{Bandwidth: 2, Rule: optical.ServeFirst, AckLength: 1, CheckInvariants: true},
+		Retry: ExponentialBackoff{Base: 4},
+	}
+	e := NewEngine()
+	for round := 0; round < 3; round++ {
+		reused, err := RunDynamicWithEngine(e, g, build(), cfg, rng.New(123))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := RunDynamic(g, build(), cfg, rng.New(123))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reused.Outcomes) != len(fresh.Outcomes) {
+			t.Fatalf("round %d: outcome counts differ", round)
+		}
+		for i := range reused.Outcomes {
+			if reused.Outcomes[i] != fresh.Outcomes[i] {
+				t.Fatalf("round %d request %d: reused %+v fresh %+v", round, i, reused.Outcomes[i], fresh.Outcomes[i])
+			}
+		}
+		if reused.TotalAttempts != fresh.TotalAttempts || reused.Makespan != fresh.Makespan || reused.FaultKills != fresh.FaultKills {
+			t.Fatalf("round %d: aggregates differ: %+v vs %+v", round, reused, fresh)
+		}
+	}
+}

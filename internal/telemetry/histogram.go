@@ -167,3 +167,60 @@ func (s *HistogramSnapshot) Mean() float64 {
 	}
 	return float64(s.Sum) / float64(s.Count)
 }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts by linear interpolation inside the bucket holding the target
+// rank, the standard Prometheus-style estimator. The estimate is
+// clamped to the exact observed [Min, Max] range, so Quantile(0) is Min,
+// Quantile(1) is Max, and tail quantiles landing in the +Inf bucket
+// degrade to Max instead of inventing mass beyond it. With no
+// observations it returns 0.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 || len(s.Counts) != len(s.Bounds)+1 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		// Bucket i holds the target rank. Interpolate between its bounds;
+		// the first bucket starts at 0 and the +Inf bucket is clamped to
+		// the observed Max below.
+		lo, hi := 0.0, float64(s.Max)
+		if i > 0 {
+			lo = float64(s.Bounds[i-1])
+		}
+		if i < len(s.Bounds) {
+			hi = float64(s.Bounds[i])
+		}
+		// Tighten the interpolation range to the observed extremes.
+		if lo < float64(s.Min) {
+			lo = float64(s.Min)
+		}
+		if hi > float64(s.Max) {
+			hi = float64(s.Max)
+		}
+		v := lo
+		if c > 0 && hi > lo {
+			v = lo + (hi-lo)*(rank-prev)/float64(c)
+		}
+		if v < float64(s.Min) {
+			v = float64(s.Min)
+		}
+		if v > float64(s.Max) {
+			v = float64(s.Max)
+		}
+		return v
+	}
+	return float64(s.Max)
+}

@@ -366,3 +366,63 @@ func TestLiveAbsorbAndExporter(t *testing.T) {
 		t.Errorf("aggregated snapshot runs/delivered = %d/%d", s.Runs, s.Delivered)
 	}
 }
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	h := NewHistogram(LinearBuckets(10, 10, 10)) // bounds 10..100
+	// 100 observations of 1..100: quantiles are predictable.
+	for v := 1; v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	cases := []struct {
+		q    float64
+		lo   float64
+		hi   float64
+		name string
+	}{
+		{0, 1, 1, "q0 is min"},
+		{0.5, 45, 55, "median near 50"},
+		{0.95, 90, 100, "p95 near 95"},
+		{1, 100, 100, "q1 is max"},
+		{-0.5, 1, 1, "clamped below"},
+		{1.5, 100, 100, "clamped above"},
+	}
+	for _, tc := range cases {
+		got := s.Quantile(tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("%s: Quantile(%v) = %v, want in [%v, %v]", tc.name, tc.q, got, tc.lo, tc.hi)
+		}
+	}
+
+	// Empty snapshot.
+	emptyH := NewHistogram([]int{8})
+	empty := emptyH.Snapshot()
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+
+	// All mass in the +Inf bucket clamps to the observed max.
+	over := NewHistogram([]int{4})
+	over.Observe(1000)
+	over.Observe(2000)
+	os := over.Snapshot()
+	if got := os.Quantile(0.99); got < 1000 || got > 2000 {
+		t.Errorf("+Inf-bucket Quantile = %v, want within observed [1000, 2000]", got)
+	}
+	if got := os.Quantile(1); got != 2000 {
+		t.Errorf("+Inf-bucket Quantile(1) = %v, want 2000 (observed max)", got)
+	}
+	if got := os.Quantile(0); got != 1000 {
+		t.Errorf("+Inf-bucket Quantile(0) = %v, want 1000 (observed min)", got)
+	}
+
+	// A single observation answers every quantile exactly.
+	one := NewHistogram([]int{8, 16})
+	one.Observe(5)
+	ones := one.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := ones.Quantile(q); got != 5 {
+			t.Errorf("single-observation Quantile(%v) = %v, want 5", q, got)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hammers the trace decoder with arbitrary bytes: it must
+// reject damage cleanly — an error, never a panic or a runaway
+// allocation — and anything it does accept must re-encode to the exact
+// input bytes (the envelope admits one spelling per trace).
+func FuzzDecode(f *testing.F) {
+	tr, err := specFixture().Generate()
+	if err != nil {
+		f.Fatalf("Generate: %v", err)
+	}
+	enc, err := tr.Encode()
+	if err != nil {
+		f.Fatalf("Encode: %v", err)
+	}
+	f.Add(enc)
+	f.Add(enc[:len(enc)-1])
+	f.Add(enc[:8])
+	f.Add([]byte{})
+	f.Add([]byte("OWTR"))
+	bumped := append([]byte{}, enc...)
+	bumped[5] = 99
+	f.Add(bumped)
+	corrupt := append([]byte{}, enc...)
+	corrupt[len(corrupt)/2] ^= 0x10
+	f.Add(corrupt)
+	small := &Trace{Version: TraceVersion, Nodes: 2, Horizon: 1, Arrivals: []Arrival{{Src: 0, Dst: 1}}}
+	if e, err := small.Encode(); err == nil {
+		f.Add(e)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if verr := dec.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an invalid trace: %v", verr)
+		}
+		re, err := dec.Encode()
+		if err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input is not canonical: re-encoding differs (%d vs %d bytes)", len(re), len(data))
+		}
+	})
+}

@@ -1,0 +1,296 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Generate materializes the spec into a trace. Generation is
+// deterministic: the master stream rng.New(spec.Seed) is pre-split into
+// three streams per cohort in declaration order (arrival times, pair
+// draws, distribution setup), so equal normalized specs produce
+// byte-identical traces and appending a cohort never perturbs the
+// arrivals of earlier ones. Cohort arrival lists are merged stably by
+// step, earlier cohorts first within a step.
+func (s Spec) Generate() (*Trace, error) {
+	n := s.Normalized()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	master := rng.New(n.Seed)
+	var all []Arrival
+	for ci := range n.Cohorts {
+		c := &n.Cohorts[ci]
+		arrSrc, pairSrc, distSrc := master.Split(), master.Split(), master.Split()
+		bursts, err := sampleEpochs(c.Arrivals, n.Horizon, arrSrc)
+		if err != nil {
+			return nil, fmt.Errorf("workload: cohort %d: %w", ci, err)
+		}
+		srcs := newSampler(c.Sources, n.Nodes, distSrc)
+		dsts := newSampler(c.Destinations, n.Nodes, distSrc)
+		for _, b := range bursts {
+			if len(all)+b.count > MaxTraceArrivals {
+				return nil, fmt.Errorf("workload: spec generates more than %d arrivals; lower the rate or horizon", MaxTraceArrivals)
+			}
+			// A multi-request burst fans in: one destination draw is
+			// shared by the whole burst.
+			shared := -1
+			if b.count > 1 && !dsts.derived() {
+				shared = dsts.sample(pairSrc)
+			}
+			for k := 0; k < b.count; k++ {
+				src := srcs.sample(pairSrc)
+				dst := shared
+				if dsts.derived() {
+					dst = dsts.derive(src)
+				} else if dst < 0 {
+					dst = dsts.sample(pairSrc)
+				}
+				if dst == src {
+					if shared >= 0 {
+						// A fan-in burst targets exactly one destination, so
+						// resolve the collision by shifting the source.
+						src = (src + 1) % n.Nodes
+					} else {
+						dst = resolveSelfPair(src, dst, n.Nodes, dsts, pairSrc)
+					}
+				}
+				all = append(all, Arrival{Step: b.step, Src: src, Dst: dst, Cohort: ci})
+			}
+		}
+	}
+	// Stable by step: per-cohort lists are already step-sorted, so equal
+	// steps keep cohort order and intra-cohort sequence.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Step < all[j].Step })
+	if all == nil {
+		all = []Arrival{}
+	}
+	spec := n
+	return &Trace{
+		Version:  TraceVersion,
+		Nodes:    n.Nodes,
+		Horizon:  n.Horizon,
+		Spec:     &spec,
+		Arrivals: all,
+	}, nil
+}
+
+// resolveSelfPair replaces a self-addressed draw deterministically: an
+// independent destination distribution is redrawn a few times, then (and
+// for derived kinds immediately) the destination shifts to the next node.
+func resolveSelfPair(src, dst, nodes int, dsts *sampler, pairSrc *rng.Source) int {
+	if !dsts.derived() {
+		for tries := 0; tries < 8 && dst == src; tries++ {
+			dst = dsts.sample(pairSrc)
+		}
+	}
+	if dst == src {
+		dst = (src + 1) % nodes
+	}
+	return dst
+}
+
+// epoch is one arrival epoch: count requests sharing one step (count > 1
+// only for the bursts process).
+type epoch struct {
+	step  int
+	count int
+}
+
+// sampleEpochs draws the arrival epochs of one cohort over [0, horizon).
+func sampleEpochs(a ArrivalSpec, horizon int, src *rng.Source) ([]epoch, error) {
+	var out []epoch
+	emit := func(step, count int) error {
+		out = append(out, epoch{step: step, count: count})
+		if len(out) > MaxTraceArrivals {
+			return fmt.Errorf("more than %d arrival epochs; lower the rate or horizon", MaxTraceArrivals)
+		}
+		return nil
+	}
+	switch a.Kind {
+	case KindPoisson:
+		t := 0.0
+		for {
+			t += expInterval(src, a.Rate)
+			if int(t) >= horizon {
+				return out, nil
+			}
+			if err := emit(int(t), 1); err != nil {
+				return nil, err
+			}
+		}
+	case KindOnOff:
+		// Alternate exponential ON/OFF periods starting ON; arrivals are
+		// Poisson at the ON rate inside ON windows only.
+		tState, on := 0.0, true
+		for tState < float64(horizon) {
+			dur := expInterval(src, 1) * pickMean(on, a.OnSteps, a.OffSteps)
+			if on {
+				t := tState
+				for {
+					t += expInterval(src, a.Rate)
+					if t >= tState+dur || int(t) >= horizon {
+						break
+					}
+					if err := emit(int(t), 1); err != nil {
+						return nil, err
+					}
+				}
+			}
+			tState += dur
+			on = !on
+		}
+		return out, nil
+	case KindDiurnal:
+		// Thinning: homogeneous candidates at the peak rate, accepted
+		// with probability rate(t)/peak.
+		peak := a.Rate
+		for _, p := range a.Periods {
+			peak += p.Amplitude
+		}
+		t := 0.0
+		for {
+			t += expInterval(src, peak)
+			if int(t) >= horizon {
+				return out, nil
+			}
+			if src.Float64()*peak <= diurnalRate(a, t) {
+				if err := emit(int(t), 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case KindBursts:
+		// Poisson burst epochs carrying Pareto(alpha)-sized fan-ins.
+		t := 0.0
+		for {
+			t += expInterval(src, a.Rate)
+			if int(t) >= horizon {
+				return out, nil
+			}
+			size := paretoSize(src, a.BurstAlpha, a.BurstMax)
+			if err := emit(int(t), size); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown arrival kind %q", a.Kind)
+}
+
+// pickMean selects the mean state duration for the current on/off state.
+func pickMean(on bool, onSteps, offSteps float64) float64 {
+	if on {
+		return onSteps
+	}
+	return offSteps
+}
+
+// diurnalRate evaluates the multi-period rate at time t: the base rate
+// plus one triangle wave per period. Triangle waves (not sinusoids) keep
+// the arithmetic to IEEE +,*,/ so generation is bit-identical across
+// platforms.
+func diurnalRate(a ArrivalSpec, t float64) float64 {
+	r := a.Rate
+	for _, p := range a.Periods {
+		phase := math.Mod(t, float64(p.Steps)) / float64(p.Steps)
+		r += p.Amplitude * (1 - math.Abs(2*phase-1))
+	}
+	return r
+}
+
+// expInterval draws an exponential inter-arrival time with the given
+// rate (mean 1/rate).
+func expInterval(src *rng.Source, rate float64) float64 {
+	u := src.Float64()
+	for u == 0 {
+		u = src.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// paretoSize draws a Pareto(alpha, x_m = 1) burst size clipped to
+// [1, cap].
+func paretoSize(src *rng.Source, alpha float64, sizeCap int) int {
+	u := src.Float64()
+	for u == 0 {
+		u = src.Float64()
+	}
+	x := math.Pow(u, -1/alpha)
+	if x >= float64(sizeCap) {
+		return sizeCap
+	}
+	size := int(x)
+	if size < 1 {
+		return 1
+	}
+	return size
+}
+
+// sampler draws nodes from one (normalized) distribution. Zipf samplers
+// fix their hotspot set and cumulative weights at construction from the
+// cohort's distribution stream.
+type sampler struct {
+	kind  string
+	nodes int
+	rbits uint // index width for the derived kinds
+	spots []int
+	cum   []float64
+}
+
+// newSampler builds the sampler, consuming setup randomness from
+// distSrc (zipf hotspot sets only).
+func newSampler(d Dist, nodes int, distSrc *rng.Source) *sampler {
+	s := &sampler{kind: d.Kind, nodes: nodes, rbits: uint(bits.Len(uint(nodes - 1)))}
+	if d.Kind == DistZipf {
+		perm := distSrc.Perm(nodes)
+		s.spots = perm[:d.Spots]
+		s.cum = make([]float64, d.Spots)
+		total := 0.0
+		for i := 0; i < d.Spots; i++ {
+			total += math.Pow(float64(i+1), -d.Skew)
+			s.cum[i] = total
+		}
+	}
+	return s
+}
+
+// derived reports whether the distribution derives the destination from
+// the source instead of drawing independently.
+func (s *sampler) derived() bool {
+	return s.kind == DistBitReverse || s.kind == DistTranspose
+}
+
+// sample draws one node (independent kinds only).
+func (s *sampler) sample(src *rng.Source) int {
+	if s.kind == DistZipf {
+		u := src.Float64() * s.cum[len(s.cum)-1]
+		i := sort.SearchFloat64s(s.cum, u)
+		if i >= len(s.spots) {
+			i = len(s.spots) - 1
+		}
+		return s.spots[i]
+	}
+	return src.Intn(s.nodes)
+}
+
+// derive maps a source to its structured destination. Out-of-range
+// images (non-power-of-two node counts) wrap modulo the node count.
+func (s *sampler) derive(src int) int {
+	var img uint
+	switch s.kind {
+	case DistBitReverse:
+		img = uint(bits.Reverse(uint(src)) >> (bits.UintSize - s.rbits))
+	case DistTranspose:
+		half := s.rbits / 2
+		lo := uint(src) & (1<<half - 1)
+		hi := uint(src) >> half
+		img = lo<<(s.rbits-half) | hi
+	default:
+		return src
+	}
+	return int(img) % s.nodes
+}

@@ -1,0 +1,302 @@
+// Package workload generates open-loop traffic for the dynamic routing
+// regime: seeded arrival processes (Poisson, bursty on/off, diurnal
+// multi-period, heavy-tailed fan-in bursts) composed per cohort with
+// source and destination distributions (uniform, hotspot-weighted,
+// bit-reversal/transpose structured), materialized into a versioned,
+// replayable Trace.
+//
+// Everything is deterministic: a Spec plus its seed fully determines the
+// generated trace, all randomness flows through internal/rng with
+// pre-split per-cohort streams (adding a cohort never perturbs the
+// arrivals of earlier cohorts), and the trace's canonical encoding
+// (internal/canon) content-addresses it — identical workloads, however
+// spelled, produce byte-identical traces and share one optnetd job key.
+//
+// The closed batch workloads of the paper (permutations, q-functions)
+// live in internal/paths; this package covers the other axis of the
+// dynamic RWA literature the paper cites: sustained load, saturation
+// knees, and latency tails under continuous arrivals.
+package workload
+
+import "fmt"
+
+// Arrival-process kinds accepted by ArrivalSpec.Kind.
+const (
+	// KindPoisson is a homogeneous Poisson process: independent
+	// exponential inter-arrival times at a constant rate.
+	KindPoisson = "poisson"
+	// KindOnOff is a two-state modulated Poisson process: exponential ON
+	// periods emitting at the configured rate alternate with silent
+	// exponential OFF periods — the classic bursty source.
+	KindOnOff = "onoff"
+	// KindDiurnal is a non-homogeneous Poisson process whose rate is the
+	// base rate plus one triangle wave per configured period — a
+	// multi-period day/week load shape, sampled by thinning.
+	KindDiurnal = "diurnal"
+	// KindBursts is a heavy-tailed fan-in process: burst epochs arrive as
+	// a Poisson process and each carries a Pareto-distributed number of
+	// requests that all target one destination — a transient hotspot.
+	KindBursts = "bursts"
+)
+
+// Distribution kinds accepted by Dist.Kind.
+const (
+	// DistUniform draws nodes uniformly.
+	DistUniform = "uniform"
+	// DistZipf draws from a fixed hotspot set with Zipf weights: spot i
+	// has weight (i+1)^-skew. The set is drawn once per cohort from the
+	// generation stream.
+	DistZipf = "zipf"
+	// DistBitReverse (destinations only) pairs each source with its
+	// bit-reversed index — the structured permutation traffic of FFT-style
+	// supercomputer workloads.
+	DistBitReverse = "bitreverse"
+	// DistTranspose (destinations only) pairs each source with the node
+	// whose index swaps the high and low halves of its bits — matrix
+	// transpose traffic.
+	DistTranspose = "transpose"
+)
+
+// Spec declares an open-loop workload: the node universe, the generation
+// horizon, the master seed, and one or more traffic cohorts whose
+// arrivals are merged in step order. The zero-value fields of a spec all
+// have documented defaults (see Normalized), so two spellings of the
+// same workload generate byte-identical traces.
+type Spec struct {
+	// Nodes is the number of network nodes traffic is drawn over.
+	Nodes int `json:"nodes"`
+	// Horizon is the number of steps arrivals are generated for; every
+	// arrival step lies in [0, Horizon).
+	Horizon int `json:"horizon"`
+	// Seed drives all generation randomness.
+	Seed uint64 `json:"seed"`
+	// Cohorts are independent traffic sources (1..64).
+	Cohorts []Cohort `json:"cohorts"`
+}
+
+// Cohort is one traffic class: an arrival process plus source and
+// destination distributions. Cohort randomness is pre-split from the
+// spec's master stream in declaration order.
+type Cohort struct {
+	// Name labels the cohort in traces and reports (informational).
+	Name string `json:"name"`
+	// Arrivals is the cohort's arrival process.
+	Arrivals ArrivalSpec `json:"arrivals"`
+	// Sources distributes request sources (uniform or zipf).
+	Sources Dist `json:"sources"`
+	// Destinations distributes request destinations (any Dist kind).
+	Destinations Dist `json:"destinations"`
+}
+
+// ArrivalSpec parameterizes one arrival process. Fields that do not
+// apply to the selected kind are zeroed by normalization so they cannot
+// split content addresses.
+type ArrivalSpec struct {
+	// Kind selects the process (default poisson).
+	Kind string `json:"kind"`
+	// Rate is the mean arrival rate in requests per step: the constant
+	// rate (poisson), the ON-state rate (onoff), the base rate
+	// (diurnal), or the burst-epoch rate (bursts).
+	Rate float64 `json:"rate"`
+	// OnSteps and OffSteps are the mean ON/OFF durations of the onoff
+	// process (defaults 16 and 48).
+	OnSteps float64 `json:"on_steps"`
+	// OffSteps is the mean silent-period duration.
+	OffSteps float64 `json:"off_steps"`
+	// Periods are the diurnal components added to the base rate.
+	Periods []Period `json:"periods"`
+	// BurstAlpha is the Pareto tail exponent of burst sizes (default
+	// 1.5; smaller is heavier).
+	BurstAlpha float64 `json:"burst_alpha"`
+	// BurstMax caps one burst's size (default 256).
+	BurstMax int `json:"burst_max"`
+}
+
+// Period is one diurnal component: a triangle wave of the given period
+// whose contribution oscillates between 0 and Amplitude requests/step.
+type Period struct {
+	// Steps is the wave period in steps (>= 2).
+	Steps int `json:"steps"`
+	// Amplitude is the wave's peak rate contribution.
+	Amplitude float64 `json:"amplitude"`
+}
+
+// Dist parameterizes a node distribution.
+type Dist struct {
+	// Kind selects the distribution (default uniform).
+	Kind string `json:"kind"`
+	// Spots is the hotspot-set size of a zipf distribution (default 8,
+	// clamped to the node count).
+	Spots int `json:"spots"`
+	// Skew is the zipf exponent (default 1.2).
+	Skew float64 `json:"skew"`
+}
+
+// Generation bounds: they keep one spec from materializing an unbounded
+// trace and bound what the decoder accepts.
+const (
+	maxCohorts  = 64
+	maxNodes    = 1 << 20
+	maxHorizon  = 1 << 24
+	maxRate     = 64
+	maxPeriods  = 8
+	maxBurstCap = 4096
+	// MaxTraceArrivals bounds a single trace; Generate fails beyond it
+	// and the decoder rejects traces that claim more.
+	MaxTraceArrivals = 1 << 21
+)
+
+// Normalized returns a copy of the spec with every defaultable field
+// explicit and every inapplicable field zeroed, so equal workloads —
+// however spelled — normalize to identical specs and therefore identical
+// traces and content addresses.
+func (s Spec) Normalized() Spec {
+	out := s
+	out.Cohorts = make([]Cohort, len(s.Cohorts))
+	for i, c := range s.Cohorts {
+		a := c.Arrivals
+		if a.Kind == "" {
+			a.Kind = KindPoisson
+		}
+		switch a.Kind {
+		case KindOnOff:
+			if a.OnSteps <= 0 {
+				a.OnSteps = 16
+			}
+			if a.OffSteps <= 0 {
+				a.OffSteps = 48
+			}
+		default:
+			a.OnSteps, a.OffSteps = 0, 0
+		}
+		if a.Kind == KindDiurnal {
+			a.Periods = append([]Period{}, a.Periods...)
+		} else {
+			a.Periods = []Period{}
+		}
+		if a.Kind == KindBursts {
+			if a.BurstAlpha <= 0 {
+				a.BurstAlpha = 1.5
+			}
+			if a.BurstMax <= 0 {
+				a.BurstMax = 256
+			}
+		} else {
+			a.BurstAlpha, a.BurstMax = 0, 0
+		}
+		c.Arrivals = a
+		c.Sources = c.Sources.normalized(s.Nodes)
+		c.Destinations = c.Destinations.normalized(s.Nodes)
+		out.Cohorts[i] = c
+	}
+	return out
+}
+
+// normalized applies the distribution defaults against the node count.
+func (d Dist) normalized(nodes int) Dist {
+	if d.Kind == "" {
+		d.Kind = DistUniform
+	}
+	if d.Kind == DistZipf {
+		if d.Spots <= 0 {
+			d.Spots = 8
+		}
+		if nodes > 0 && d.Spots > nodes {
+			d.Spots = nodes
+		}
+		if d.Skew <= 0 {
+			d.Skew = 1.2
+		}
+	} else {
+		d.Spots, d.Skew = 0, 0
+	}
+	return d
+}
+
+// Validate checks the spec's kinds and bounds. It accepts both raw and
+// normalized specs (defaults are applied before checking).
+func (s Spec) Validate() error {
+	n := s.Normalized()
+	if n.Nodes < 2 || n.Nodes > maxNodes {
+		return fmt.Errorf("workload: nodes %d out of range [2, %d]", n.Nodes, maxNodes)
+	}
+	if n.Horizon < 1 || n.Horizon > maxHorizon {
+		return fmt.Errorf("workload: horizon %d out of range [1, %d]", n.Horizon, maxHorizon)
+	}
+	if len(n.Cohorts) < 1 || len(n.Cohorts) > maxCohorts {
+		return fmt.Errorf("workload: %d cohorts out of range [1, %d]", len(n.Cohorts), maxCohorts)
+	}
+	for i, c := range n.Cohorts {
+		if err := c.Arrivals.validate(); err != nil {
+			return fmt.Errorf("workload: cohort %d: %w", i, err)
+		}
+		if err := c.Sources.validate(n.Nodes, false); err != nil {
+			return fmt.Errorf("workload: cohort %d sources: %w", i, err)
+		}
+		if err := c.Destinations.validate(n.Nodes, true); err != nil {
+			return fmt.Errorf("workload: cohort %d destinations: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// validate checks one (normalized) arrival spec.
+func (a ArrivalSpec) validate() error {
+	switch a.Kind {
+	case KindPoisson, KindOnOff, KindDiurnal, KindBursts:
+	default:
+		return fmt.Errorf("unknown arrival kind %q", a.Kind)
+	}
+	if a.Rate <= 0 || a.Rate > maxRate {
+		return fmt.Errorf("rate %v out of range (0, %d]", a.Rate, maxRate)
+	}
+	if a.Kind == KindOnOff {
+		if a.OnSteps < 1 || a.OnSteps > 1e6 || a.OffSteps < 1 || a.OffSteps > 1e6 {
+			return fmt.Errorf("onoff durations %v/%v out of range [1, 1e6]", a.OnSteps, a.OffSteps)
+		}
+	}
+	if a.Kind == KindDiurnal {
+		if len(a.Periods) < 1 || len(a.Periods) > maxPeriods {
+			return fmt.Errorf("diurnal needs 1..%d periods", maxPeriods)
+		}
+		for _, p := range a.Periods {
+			if p.Steps < 2 {
+				return fmt.Errorf("diurnal period %d steps < 2", p.Steps)
+			}
+			if p.Amplitude < 0 || p.Amplitude > maxRate {
+				return fmt.Errorf("diurnal amplitude %v out of range [0, %d]", p.Amplitude, maxRate)
+			}
+		}
+	}
+	if a.Kind == KindBursts {
+		if a.BurstAlpha < 0.5 || a.BurstAlpha > 8 {
+			return fmt.Errorf("burst alpha %v out of range [0.5, 8]", a.BurstAlpha)
+		}
+		if a.BurstMax < 1 || a.BurstMax > maxBurstCap {
+			return fmt.Errorf("burst max %d out of range [1, %d]", a.BurstMax, maxBurstCap)
+		}
+	}
+	return nil
+}
+
+// validate checks one (normalized) distribution; derived kinds are
+// destination-only.
+func (d Dist) validate(nodes int, dst bool) error {
+	switch d.Kind {
+	case DistUniform:
+	case DistZipf:
+		if d.Spots < 1 || d.Spots > nodes {
+			return fmt.Errorf("zipf spots %d out of range [1, %d]", d.Spots, nodes)
+		}
+		if d.Skew < 0 || d.Skew > 8 {
+			return fmt.Errorf("zipf skew %v out of range [0, 8]", d.Skew)
+		}
+	case DistBitReverse, DistTranspose:
+		if !dst {
+			return fmt.Errorf("%s applies to destinations only", d.Kind)
+		}
+	default:
+		return fmt.Errorf("unknown distribution kind %q", d.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func specFixture() Spec {
+	return Spec{
+		Nodes:   16,
+		Horizon: 200,
+		Seed:    42,
+		Cohorts: []Cohort{
+			{Name: "base", Arrivals: ArrivalSpec{Kind: KindPoisson, Rate: 0.5}},
+			{
+				Name:         "bursty",
+				Arrivals:     ArrivalSpec{Kind: KindOnOff, Rate: 1.5},
+				Destinations: Dist{Kind: DistZipf, Spots: 4},
+			},
+		},
+	}
+}
+
+func mustGenerate(t *testing.T, s Spec) *Trace {
+	t.Helper()
+	tr, err := s.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return tr
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := mustGenerate(t, specFixture())
+	b := mustGenerate(t, specFixture())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same spec generated different traces")
+	}
+	if len(a.Arrivals) == 0 {
+		t.Fatalf("fixture generated no arrivals")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+}
+
+func TestGenerateSeedMatters(t *testing.T) {
+	s := specFixture()
+	a := mustGenerate(t, s)
+	s.Seed++
+	b := mustGenerate(t, s)
+	if reflect.DeepEqual(a.Arrivals, b.Arrivals) {
+		t.Fatalf("different seeds generated identical arrivals")
+	}
+}
+
+// TestGenerateCohortStreamsIsolated pins the pre-split stream contract:
+// appending a cohort must not perturb the arrivals of earlier cohorts.
+func TestGenerateCohortStreamsIsolated(t *testing.T) {
+	s := specFixture()
+	base := mustGenerate(t, s)
+	s.Cohorts = append(s.Cohorts, Cohort{
+		Name:     "extra",
+		Arrivals: ArrivalSpec{Kind: KindBursts, Rate: 0.05},
+	})
+	grown := mustGenerate(t, s)
+
+	filter := func(tr *Trace, maxCohort int) []Arrival {
+		var out []Arrival
+		for _, a := range tr.Arrivals {
+			if a.Cohort <= maxCohort {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(filter(base, 1), filter(grown, 1)) {
+		t.Fatalf("adding a cohort perturbed earlier cohorts' arrivals")
+	}
+}
+
+func TestGenerateNormalizationInvariance(t *testing.T) {
+	raw := Spec{
+		Nodes:   16,
+		Horizon: 100,
+		Seed:    7,
+		Cohorts: []Cohort{{
+			// All fields defaultable: kind, distributions omitted.
+			Arrivals: ArrivalSpec{Rate: 1, OnSteps: 99, BurstMax: 17}, // inapplicable fields
+		}},
+	}
+	explicit := Spec{
+		Nodes:   16,
+		Horizon: 100,
+		Seed:    7,
+		Cohorts: []Cohort{{
+			Arrivals:     ArrivalSpec{Kind: KindPoisson, Rate: 1},
+			Sources:      Dist{Kind: DistUniform},
+			Destinations: Dist{Kind: DistUniform},
+		}},
+	}
+	a := mustGenerate(t, raw)
+	b := mustGenerate(t, explicit)
+	ka, err := a.Key()
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	kb, err := b.Key()
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if ka != kb {
+		t.Fatalf("equivalent spellings produced different content addresses:\n%s\n%s", ka, kb)
+	}
+}
+
+func TestGenerateArrivalProcesses(t *testing.T) {
+	cases := []struct {
+		name string
+		arr  ArrivalSpec
+	}{
+		{"poisson", ArrivalSpec{Kind: KindPoisson, Rate: 1}},
+		{"onoff", ArrivalSpec{Kind: KindOnOff, Rate: 2, OnSteps: 10, OffSteps: 30}},
+		{"diurnal", ArrivalSpec{Kind: KindDiurnal, Rate: 0.3, Periods: []Period{{Steps: 50, Amplitude: 1}, {Steps: 7, Amplitude: 0.2}}}},
+		{"bursts", ArrivalSpec{Kind: KindBursts, Rate: 0.1, BurstAlpha: 1.2, BurstMax: 32}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Spec{Nodes: 32, Horizon: 500, Seed: 3, Cohorts: []Cohort{{Arrivals: tc.arr}}}
+			tr := mustGenerate(t, s)
+			if len(tr.Arrivals) == 0 {
+				t.Fatalf("%s generated no arrivals over 500 steps", tc.name)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("invalid trace: %v", err)
+			}
+		})
+	}
+}
+
+// TestGenerateBurstFanIn checks the fan-in property: a multi-request
+// burst epoch shares one destination.
+func TestGenerateBurstFanIn(t *testing.T) {
+	s := Spec{
+		Nodes:   64,
+		Horizon: 2000,
+		Seed:    11,
+		Cohorts: []Cohort{{Arrivals: ArrivalSpec{Kind: KindBursts, Rate: 0.05, BurstAlpha: 0.8, BurstMax: 64}}},
+	}
+	tr := mustGenerate(t, s)
+	byStep := map[int][]Arrival{}
+	for _, a := range tr.Arrivals {
+		byStep[a.Step] = append(byStep[a.Step], a)
+	}
+	sawMulti := false
+	for _, as := range byStep {
+		if len(as) < 3 {
+			continue
+		}
+		sawMulti = true
+		dsts := map[int]bool{}
+		for _, a := range as {
+			dsts[a.Dst] = true
+		}
+		// A fan-in burst shares exactly one destination; two distinct
+		// epochs can land on the same integer step, so allow two.
+		if len(dsts) > 2 {
+			t.Fatalf("burst of %d requests spread over %d destinations", len(as), len(dsts))
+		}
+	}
+	if !sawMulti {
+		t.Fatalf("heavy-tailed burst process generated no multi-request epochs")
+	}
+}
+
+func TestGenerateDerivedDistributions(t *testing.T) {
+	for _, kind := range []string{DistBitReverse, DistTranspose} {
+		t.Run(kind, func(t *testing.T) {
+			s := Spec{
+				Nodes:   16,
+				Horizon: 300,
+				Seed:    5,
+				Cohorts: []Cohort{{
+					Arrivals:     ArrivalSpec{Kind: KindPoisson, Rate: 1},
+					Destinations: Dist{Kind: kind},
+				}},
+			}
+			tr := mustGenerate(t, s)
+			for _, a := range tr.Arrivals {
+				want := (&sampler{kind: kind, nodes: 16, rbits: 4}).derive(a.Src)
+				if want == a.Src {
+					want = (a.Src + 1) % 16
+				}
+				if a.Dst != want {
+					t.Fatalf("src %d: dst %d, want derived %d", a.Src, a.Dst, want)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateZipfConcentrates(t *testing.T) {
+	s := Spec{
+		Nodes:   256,
+		Horizon: 1000,
+		Seed:    9,
+		Cohorts: []Cohort{{
+			Arrivals:     ArrivalSpec{Kind: KindPoisson, Rate: 2},
+			Destinations: Dist{Kind: DistZipf, Spots: 4, Skew: 1.5},
+		}},
+	}
+	tr := mustGenerate(t, s)
+	st := tr.Stats()
+	// Self-pair redraws can leak a destination outside the hotspot set,
+	// but the bulk must land on the 4 spots.
+	if st.Destinations > 12 {
+		t.Fatalf("zipf(4) traffic hit %d distinct destinations", st.Destinations)
+	}
+	if st.TopDestShare < 0.25 {
+		t.Fatalf("zipf(4, 1.5) top destination share %.3f, want >= 0.25", st.TopDestShare)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	base := specFixture()
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"no cohorts", func(s *Spec) { s.Cohorts = nil }},
+		{"one node", func(s *Spec) { s.Nodes = 1 }},
+		{"zero horizon", func(s *Spec) { s.Horizon = 0 }},
+		{"huge horizon", func(s *Spec) { s.Horizon = maxHorizon + 1 }},
+		{"zero rate", func(s *Spec) { s.Cohorts[0].Arrivals.Rate = 0 }},
+		{"huge rate", func(s *Spec) { s.Cohorts[0].Arrivals.Rate = maxRate + 1 }},
+		{"bad arrival kind", func(s *Spec) { s.Cohorts[0].Arrivals.Kind = "sinusoid" }},
+		{"bad dist kind", func(s *Spec) { s.Cohorts[0].Sources.Kind = "gaussian" }},
+		{"derived source", func(s *Spec) { s.Cohorts[0].Sources.Kind = DistBitReverse }},
+		{"diurnal no periods", func(s *Spec) { s.Cohorts[0].Arrivals.Kind = KindDiurnal }},
+		{"diurnal short period", func(s *Spec) {
+			s.Cohorts[0].Arrivals.Kind = KindDiurnal
+			s.Cohorts[0].Arrivals.Periods = []Period{{Steps: 1, Amplitude: 1}}
+		}},
+		{"burst alpha low", func(s *Spec) {
+			s.Cohorts[0].Arrivals.Kind = KindBursts
+			s.Cohorts[0].Arrivals.BurstAlpha = 0.1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			s.Cohorts = append([]Cohort{}, base.Cohorts...)
+			tc.mut(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if _, err := s.Generate(); err == nil {
+				t.Fatalf("Generate accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestTraceValidateRejects(t *testing.T) {
+	mk := func() *Trace {
+		return &Trace{
+			Version: TraceVersion, Nodes: 8, Horizon: 10,
+			Arrivals: []Arrival{{Step: 1, Src: 0, Dst: 3}, {Step: 4, Src: 2, Dst: 7}},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Trace)
+	}{
+		{"bad version", func(tr *Trace) { tr.Version = 2 }},
+		{"step out of order", func(tr *Trace) { tr.Arrivals[0].Step = 9 }},
+		{"step beyond horizon", func(tr *Trace) { tr.Arrivals[1].Step = 10 }},
+		{"negative step", func(tr *Trace) { tr.Arrivals[0].Step = -1; tr.Arrivals[1].Step = -1 }},
+		{"src out of range", func(tr *Trace) { tr.Arrivals[0].Src = 8 }},
+		{"self pair", func(tr *Trace) { tr.Arrivals[0].Dst = 0 }},
+		{"negative cohort", func(tr *Trace) { tr.Arrivals[0].Cohort = -1 }},
+		{"spec geometry mismatch", func(tr *Trace) {
+			s := specFixture()
+			n := s.Normalized()
+			tr.Spec = &n
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := mk()
+			tc.mut(tr)
+			if err := tr.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("baseline trace invalid: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := &Trace{
+		Version: TraceVersion, Nodes: 8, Horizon: 10,
+		Arrivals: []Arrival{
+			{Step: 1, Src: 0, Dst: 3},
+			{Step: 4, Src: 2, Dst: 3, Cohort: 1},
+			{Step: 4, Src: 5, Dst: 3, Cohort: 1},
+			{Step: 6, Src: 0, Dst: 1},
+		},
+	}
+	st := tr.Stats()
+	if st.Arrivals != 4 {
+		t.Fatalf("Arrivals = %d", st.Arrivals)
+	}
+	if !reflect.DeepEqual(st.PerCohort, []int{2, 2}) {
+		t.Fatalf("PerCohort = %v", st.PerCohort)
+	}
+	if st.PeakStep != 4 || st.PeakCount != 2 {
+		t.Fatalf("peak = step %d count %d", st.PeakStep, st.PeakCount)
+	}
+	if st.Sources != 3 || st.Destinations != 2 {
+		t.Fatalf("sources %d destinations %d", st.Sources, st.Destinations)
+	}
+	if st.TopDestShare != 0.75 {
+		t.Fatalf("TopDestShare = %v", st.TopDestShare)
+	}
+	if st.OfferedLoad != 0.4 {
+		t.Fatalf("OfferedLoad = %v", st.OfferedLoad)
+	}
+}

@@ -4,10 +4,11 @@ import (
 	"repro/internal/jobs"
 )
 
-// JobSpec is a declarative, content-addressed routing job: either one
-// routed network sweep (JobRouteSpec) or one named experiment table
-// (JobExperimentSpec). Two specs that normalize identically share a
-// content address — and therefore a cached result in a job store.
+// JobSpec is a declarative, content-addressed routing job: one routed
+// network sweep (JobRouteSpec), one named experiment table
+// (JobExperimentSpec), or one trace replay (JobDynamicSpec). Two specs
+// that normalize identically share a content address — and therefore a
+// cached result in a job store.
 type JobSpec = jobs.Spec
 
 // JobRouteSpec describes a Monte-Carlo routing sweep over one network,
@@ -26,6 +27,15 @@ type JobProtocolSpec = jobs.ProtocolSpec
 
 // JobExperimentSpec requests one table of the paper reproduction by ID.
 type JobExperimentSpec = jobs.ExperimentSpec
+
+// JobDynamicSpec describes a continuous-operation sweep: a workload
+// trace replayed against one network and dynamic protocol
+// configuration, trial by trial.
+type JobDynamicSpec = jobs.DynamicSpec
+
+// JobDynamicProtocolSpec carries the dynamic protocol knobs (bandwidth,
+// worm length, backoff policy, attempt budget, ...).
+type JobDynamicProtocolSpec = jobs.DynamicProtocolSpec
 
 // JobResult is a completed job: per-trial summaries, the aggregate, the
 // folded telemetry snapshot, and (for experiments) the table and text.

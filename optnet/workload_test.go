@@ -1,0 +1,84 @@
+package optnet_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/optnet"
+)
+
+func testTrafficSpec(nodes int) optnet.TrafficSpec {
+	return optnet.TrafficSpec{
+		Nodes:   nodes,
+		Horizon: 120,
+		Seed:    9,
+		Cohorts: []optnet.TrafficCohort{
+			{
+				Name:     "base",
+				Arrivals: optnet.TrafficArrivals{Kind: optnet.ArrivalPoisson, Rate: 0.5},
+			},
+			{
+				Name:         "hot",
+				Arrivals:     optnet.TrafficArrivals{Kind: optnet.ArrivalOnOff, Rate: 1},
+				Destinations: optnet.TrafficDist{Kind: optnet.TrafficZipf, Spots: 3},
+			},
+		},
+	}
+}
+
+func TestGenerateTraceRoundTrip(t *testing.T) {
+	tr, err := optnet.GenerateTrace(testTrafficSpec(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Arrivals) == 0 {
+		t.Fatal("empty trace")
+	}
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := optnet.DecodeTrace(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := dec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("decode/encode not byte-identical")
+	}
+	if _, err := optnet.DecodeTrace(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestReplayTraceDeterministic(t *testing.T) {
+	net := optnet.Torus(2, 4)
+	tr, err := optnet.GenerateTrace(testTrafficSpec(net.Graph().NumNodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := optnet.DynamicParams{Bandwidth: 2, WormLength: 3, Rule: optnet.ServeFirst, AckLength: 1, Seed: 5}
+	a, err := optnet.ReplayTrace(net, tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := optnet.ReplayTrace(net, tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Outcomes) != len(tr.Arrivals) || a.TotalAttempts != b.TotalAttempts || a.Makespan != b.Makespan {
+		t.Fatalf("replay not deterministic: %d/%d attempts, %d/%d makespan",
+			a.TotalAttempts, b.TotalAttempts, a.Makespan, b.Makespan)
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i] != b.Outcomes[i] {
+			t.Fatalf("outcome %d differs between replays", i)
+		}
+	}
+	if _, err := optnet.ReplayTrace(optnet.Torus(2, 8), tr, p); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+}
