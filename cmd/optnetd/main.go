@@ -51,7 +51,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer store.Close()
+		defer func() {
+			// Close seals the final segment with an fsync; a failure here is
+			// the last chance to learn that results did not reach the disk.
+			if err := store.Close(); err != nil {
+				log.Printf("optnetd: closing store: %v", err)
+			}
+		}()
 	}
 	live := telemetry.NewLive()
 	experiments.SetLive(live) // experiment jobs report through the same aggregate

@@ -1,6 +1,10 @@
 // Package analysis is a small, zero-dependency static-analysis framework
-// (stdlib go/ast + go/parser + go/token only) carrying the repo-specific
-// analyzers that mechanically enforce the simulator's invariants:
+// (stdlib go/ast + go/parser + go/token + go/types only) carrying the
+// repo-specific analyzers that mechanically enforce the simulator's
+// invariants. Every linted package is type-checked first (see
+// typecheck.go), so analyzers resolve selector targets and static types
+// instead of guessing from names; flow-aware analyzers additionally walk
+// an intra-function control-flow approximation (see flow.go):
 //
 //   - mapiter: no ranging over maps in the deterministic engine packages
 //     (internal/sim, internal/core, internal/witness, internal/paths)
@@ -19,6 +23,15 @@
 //     and internal/experiments.
 //   - docs: every exported symbol has a doc comment and every package has
 //     a package comment (migrated from the original lint_test.go).
+//   - guardedby: struct fields annotated //optlint:guardedby mu may only
+//     be accessed while a lock named mu is held on every path (defer
+//     unlocks and //optlint:locked helper contracts included).
+//   - dettaint: values derived from nondeterministic sources (time,
+//     os.Getenv, math/rand, multi-case selects) must not reach the
+//     canonical encoder or any //optlint:sink function.
+//   - errsink: no discarded error results from Close/Sync/Flush/Write
+//     (and fmt.Fprint* to abstract writers) in the store and serving
+//     layers.
 //
 // Findings are suppressed with //optlint:allow directives (see suppress.go):
 // a directive above or on the offending line scopes to that line; a
@@ -34,6 +47,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 )
 
@@ -50,17 +64,35 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Pass is one analyzer's view of one package: the parsed files plus
-// reporting plumbing. Analyzers are purely syntactic; PkgPath carries the
-// import path so package-scoped rules can be expressed by the runner.
+// Pass is one analyzer's view of one package: the parsed files, the
+// type-checked package and its resolution maps, plus reporting plumbing.
+// PkgPath carries the import path so package-scoped rules can be
+// expressed by the runner.
 type Pass struct {
 	Fset    *token.FileSet
 	Files   []*ast.File
 	PkgName string
 	PkgPath string
 
+	// Pkg is the type-checked package and Info its resolution maps
+	// (Types, Defs, Uses, Selections, Implicits, Scopes — all filled).
+	Pkg  *types.Package
+	Info *types.Info
+
 	analyzer *Analyzer
 	report   func(Diagnostic)
+}
+
+// TypeOf returns the static type of e, or nil when the expression is not
+// recorded (which for a successfully checked package means e is not an
+// expression at all).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by id (definition or use), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Info.ObjectOf(id)
 }
 
 // Reportf records a finding at pos.
@@ -102,16 +134,33 @@ func hasPathSuffix(path, suffix string) bool {
 
 // All returns the full registered analyzer suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, GlobalRand, HotPath, ProbeGuard, FloatEq, Docs}
+	return []*Analyzer{
+		MapIter, GlobalRand, HotPath, ProbeGuard, FloatEq, Docs,
+		GuardedBy, DetTaint, ErrSink,
+	}
 }
 
-// Lint runs the given analyzers over one package's files, applies the
-// //optlint:allow suppression directives, checks directives for unknown
-// analyzer names, and returns the surviving diagnostics sorted by
-// position. The known-name check always uses the full registry from All,
-// so a fixture run of a single analyzer still accepts suppressions naming
-// the others.
-func Lint(fset *token.FileSet, files []*ast.File, pkgPath string, analyzers []*Analyzer) []Diagnostic {
+// Lint type-checks one package's files and runs the given analyzers over
+// it, applying the //optlint:allow suppression directives. The package
+// must type-check (its module-internal imports resolved from nothing, so
+// standalone callers lint self-contained or stdlib-only packages; the
+// module walker in LintModule supplies cross-package types). Surviving
+// diagnostics come back sorted by position.
+func Lint(fset *token.FileSet, files []*ast.File, pkgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkg, info, err := checkPackage(fset, pkgPath, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	return lintTyped(fset, files, pkgPath, pkg, info, analyzers), nil
+}
+
+// lintTyped runs the given analyzers over one type-checked package,
+// applies the //optlint:allow suppression directives, checks directives
+// for unknown analyzer names, and returns the surviving diagnostics
+// sorted by position. The known-name check always uses the full registry
+// from All, so a fixture run of a single analyzer still accepts
+// suppressions naming the others.
+func lintTyped(fset *token.FileSet, files []*ast.File, pkgPath string, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
 
@@ -137,6 +186,8 @@ func Lint(fset *token.FileSet, files []*ast.File, pkgPath string, analyzers []*A
 			Files:    files,
 			PkgName:  pkgName,
 			PkgPath:  pkgPath,
+			Pkg:      pkg,
+			Info:     info,
 			analyzer: a,
 			report:   report,
 		}
@@ -206,54 +257,6 @@ func walkStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
 		}
 		return descend
 	})
-}
-
-// universe is the set of predeclared Go identifiers, used by the
-// free-variable scan in the hotpath closure check.
-var universe = map[string]bool{
-	"append": true, "cap": true, "clear": true, "close": true,
-	"complex": true, "copy": true, "delete": true, "imag": true,
-	"len": true, "make": true, "max": true, "min": true, "new": true,
-	"panic": true, "print": true, "println": true, "real": true,
-	"recover": true, "bool": true, "byte": true, "comparable": true,
-	"complex64": true, "complex128": true, "error": true, "float32": true,
-	"float64": true, "int": true, "int8": true, "int16": true,
-	"int32": true, "int64": true, "rune": true, "string": true,
-	"uint": true, "uint8": true, "uint16": true, "uint32": true,
-	"uint64": true, "uintptr": true, "any": true, "true": true,
-	"false": true, "iota": true, "nil": true, "_": true,
-}
-
-// packageDecls returns every top-level declared name plus the per-file
-// import names across the pass's files; identifiers in this set are not
-// closure captures.
-func packageDecls(files []*ast.File) map[string]bool {
-	decls := map[string]bool{}
-	for _, f := range files {
-		for _, imp := range f.Imports {
-			decls[importName(imp)] = true
-		}
-		for _, d := range f.Decls {
-			switch d := d.(type) {
-			case *ast.FuncDecl:
-				if d.Recv == nil {
-					decls[d.Name.Name] = true
-				}
-			case *ast.GenDecl:
-				for _, spec := range d.Specs {
-					switch s := spec.(type) {
-					case *ast.TypeSpec:
-						decls[s.Name.Name] = true
-					case *ast.ValueSpec:
-						for _, n := range s.Names {
-							decls[n.Name] = true
-						}
-					}
-				}
-			}
-		}
-	}
-	return decls
 }
 
 // importName returns the name an import is referred to by in source.

@@ -32,6 +32,9 @@ var fixtureRuns = []struct {
 	{"floateq", "example.com/mod/internal/stats", []*analysis.Analyzer{analysis.FloatEq}},
 	{"docs", "example.com/mod/internal/fixtures", []*analysis.Analyzer{analysis.Docs}},
 	{"directives", "example.com/mod/internal/fixtures", nil},
+	{"guardedby", "example.com/mod/internal/jobs", []*analysis.Analyzer{analysis.GuardedBy}},
+	{"dettaint", "example.com/mod/internal/jobs", []*analysis.Analyzer{analysis.DetTaint}},
+	{"errsink", "example.com/mod/internal/jobs", []*analysis.Analyzer{analysis.ErrSink}},
 }
 
 // lintFixtureDir parses every .go file of one testdata directory (with
@@ -66,7 +69,11 @@ func lintFixtureDir(t *testing.T, dir, pkgPath string, analyzers []*analysis.Ana
 		}
 		files = append(files, f)
 	}
-	return analysis.Lint(fset, files, pkgPath, analyzers)
+	diags, err := analysis.Lint(fset, files, pkgPath, analyzers)
+	if err != nil {
+		t.Fatalf("Lint %s: %v", dir, err)
+	}
+	return diags
 }
 
 // TestAnalyzerGoldenFiles lints each fixture package and compares the
@@ -196,5 +203,9 @@ func lintSource(t *testing.T, filename, src, pkgPath string, analyzers []*analys
 	if err != nil {
 		t.Fatal(err)
 	}
-	return analysis.Lint(fset, []*ast.File{f}, pkgPath, analyzers)
+	diags, err := analysis.Lint(fset, []*ast.File{f}, pkgPath, analyzers)
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	return diags
 }

@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetTaint tracks nondeterministic values into the determinism-critical
+// encoders. Sources are calls whose results differ across identical
+// fixed-seed runs: the time package (wall clock, timers), math/rand
+// (ambient randomness), os.Getenv/Environ/Hostname/Getpid (ambient
+// environment), and receives bound inside a select with more than one
+// communication clause (which order goroutine completions). Sinks are
+// calls into internal/canon — the canonical encoder behind job keys,
+// store values and workload trace envelopes — plus any function
+// annotated //optlint:sink. A tainted value reaching a sink argument
+// means two byte-identical submissions could hash differently, silently
+// breaking content-addressed memoization.
+//
+// Propagation is intra-function and flow-insensitive: assignments,
+// declarations and ranges transfer taint from right to left until a
+// fixpoint; a call with a tainted argument taints its result. Map
+// iteration order — the remaining nondeterminism source — is enforced
+// separately by the mapiter analyzer's collect-and-sort discipline in
+// every deterministic package.
+var DetTaint = &Analyzer{
+	Name: "dettaint",
+	Doc:  "nondeterministic values must not reach canon encoding or //optlint:sink functions",
+	Run:  runDetTaint,
+}
+
+func runDetTaint(p *Pass) {
+	sinks := collectSinkFuncs(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			t := &taintTracker{pass: p, tainted: map[types.Object]string{}}
+			t.markSelectReceives(fn.Body)
+			t.propagate(fn.Body)
+			t.checkSinks(fn.Body, sinks)
+		}
+	}
+}
+
+// collectSinkFuncs returns the objects of functions annotated
+// //optlint:sink in this package.
+func collectSinkFuncs(p *Pass) map[types.Object]bool {
+	sinks := map[types.Object]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if _, ok := directiveArgs(c.Text, sinkMarker); ok {
+					if obj := p.Info.Defs[fn.Name]; obj != nil {
+						sinks[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return sinks
+}
+
+// taintTracker carries one function's taint map: object -> description
+// of the nondeterministic source it derives from.
+type taintTracker struct {
+	pass    *Pass
+	tainted map[types.Object]string
+}
+
+// sourceDesc reports whether the call is itself a nondeterministic
+// source, and describes it.
+func (t *taintTracker) sourceDesc(call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = t.pass.Info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = t.pass.Info.ObjectOf(fun.Sel)
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		return "time." + obj.Name()
+	case "math/rand", "math/rand/v2":
+		return "math/rand." + obj.Name()
+	case "os":
+		switch obj.Name() {
+		case "Getenv", "LookupEnv", "Environ", "Hostname", "Getpid":
+			return "os." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// markSelectReceives taints variables bound by receives inside selects
+// with more than one communication clause: which clause fires first is
+// scheduler-dependent.
+func (t *taintTracker) markSelectReceives(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || len(sel.Body.List) < 2 {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			comm, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			as, ok := comm.Comm.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for _, lhs := range as.Lhs {
+				if obj := t.objectOfTarget(lhs); obj != nil {
+					t.tainted[obj] = "multi-case select receive (goroutine completion order)"
+				}
+			}
+		}
+		return true
+	})
+}
+
+// propagate runs the assignment transfer to a fixpoint.
+func (t *taintTracker) propagate(body *ast.BlockStmt) {
+	for changed, rounds := true, 0; changed && rounds < 32; rounds++ {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				changed = t.transferAssign(n.Lhs, n.Rhs) || changed
+			case *ast.ValueSpec:
+				lhs := make([]ast.Expr, len(n.Names))
+				for i, name := range n.Names {
+					lhs[i] = name
+				}
+				changed = t.transferAssign(lhs, n.Values) || changed
+			case *ast.RangeStmt:
+				if desc, ok := t.taintOf(n.X); ok {
+					changed = t.taintTarget(n.Key, desc) || changed
+					changed = t.taintTarget(n.Value, desc) || changed
+				}
+			}
+			return true
+		})
+	}
+}
+
+// transferAssign moves taint right to left: pairwise when the counts
+// match, from the single tuple expression to every target otherwise.
+func (t *taintTracker) transferAssign(lhs, rhs []ast.Expr) (changed bool) {
+	if len(rhs) == 0 {
+		return false
+	}
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			if desc, ok := t.taintOf(rhs[i]); ok {
+				changed = t.taintTarget(lhs[i], desc) || changed
+			}
+		}
+		return changed
+	}
+	if desc, ok := t.taintOf(rhs[0]); ok {
+		for _, l := range lhs {
+			changed = t.taintTarget(l, desc) || changed
+		}
+	}
+	return changed
+}
+
+// taintTarget taints the object behind an assignment target; field
+// targets taint the field object itself (coarse: every instance within
+// this function), which errs toward reporting.
+func (t *taintTracker) taintTarget(e ast.Expr, desc string) bool {
+	obj := t.objectOfTarget(e)
+	if obj == nil {
+		return false
+	}
+	if _, ok := t.tainted[obj]; ok {
+		return false
+	}
+	t.tainted[obj] = desc
+	return true
+}
+
+// objectOfTarget resolves an assignment target to its variable object,
+// unwrapping index/dereference/selector forms.
+func (t *taintTracker) objectOfTarget(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t.pass.Info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		if sel := t.pass.Info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return t.pass.Info.ObjectOf(e.Sel)
+	case *ast.IndexExpr:
+		return t.objectOfTarget(e.X)
+	case *ast.StarExpr:
+		return t.objectOfTarget(e.X)
+	}
+	return nil
+}
+
+// taintOf reports whether any part of the expression derives from a
+// nondeterministic source, with its description.
+func (t *taintTracker) taintOf(e ast.Expr) (string, bool) {
+	if e == nil {
+		return "", false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := t.pass.Info.ObjectOf(e); obj != nil {
+			if desc, ok := t.tainted[obj]; ok {
+				return desc, true
+			}
+		}
+		return "", false
+	case *ast.CallExpr:
+		if desc := t.sourceDesc(e); desc != "" {
+			return desc, true
+		}
+		// A call over tainted operands returns a tainted value (sorting,
+		// formatting or arithmetic does not launder nondeterminism).
+		if desc, ok := t.taintOf(e.Fun); ok {
+			return desc, true
+		}
+		for _, a := range e.Args {
+			if desc, ok := t.taintOf(a); ok {
+				return desc, true
+			}
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		if sel := t.pass.Info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			if desc, ok := t.tainted[sel.Obj()]; ok {
+				return desc, true
+			}
+		}
+		return t.taintOf(e.X)
+	case *ast.FuncLit:
+		return "", false
+	}
+	// Generic expressions: tainted if any operand is.
+	var desc string
+	found := false
+	for _, child := range exprChildren(e) {
+		if d, ok := t.taintOf(child); ok && !found {
+			desc, found = d, true
+		}
+	}
+	return desc, found
+}
+
+// exprChildren returns the direct operand expressions of a composite
+// expression node.
+func exprChildren(e ast.Expr) []ast.Expr {
+	var kids []ast.Expr
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		kids = append(kids, e.X)
+	case *ast.UnaryExpr:
+		kids = append(kids, e.X)
+	case *ast.StarExpr:
+		kids = append(kids, e.X)
+	case *ast.BinaryExpr:
+		kids = append(kids, e.X, e.Y)
+	case *ast.IndexExpr:
+		kids = append(kids, e.X, e.Index)
+	case *ast.SliceExpr:
+		kids = append(kids, e.X, e.Low, e.High, e.Max)
+	case *ast.CompositeLit:
+		kids = append(kids, e.Elts...)
+	case *ast.KeyValueExpr:
+		kids = append(kids, e.Value)
+	case *ast.TypeAssertExpr:
+		kids = append(kids, e.X)
+	}
+	n := 0
+	for _, k := range kids {
+		if k != nil {
+			kids[n] = k
+			n++
+		}
+	}
+	return kids[:n]
+}
+
+// checkSinks reports tainted arguments flowing into canon calls or
+// //optlint:sink functions.
+func (t *taintTracker) checkSinks(body *ast.BlockStmt, sinks map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, isSink := t.sinkName(call, sinks)
+		if !isSink {
+			return true
+		}
+		for i, a := range call.Args {
+			if desc, ok := t.taintOf(a); ok {
+				t.pass.Reportf(a.Pos(),
+					"argument %d of %s derives from %s: nondeterministic values must not reach canonical encoding (fixed-seed runs would stop being byte-identical)",
+					i+1, name, desc)
+			}
+		}
+		return true
+	})
+}
+
+// sinkName reports whether the call targets a determinism sink and how
+// to name it in the diagnostic.
+func (t *taintTracker) sinkName(call *ast.CallExpr, sinks map[types.Object]bool) (string, bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = t.pass.Info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = t.pass.Info.ObjectOf(fun.Sel)
+	}
+	if obj == nil {
+		return "", false
+	}
+	if sinks[obj] {
+		return obj.Name() + " (//optlint:sink)", true
+	}
+	if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if path == "internal/canon" || strings.HasSuffix(path, "/internal/canon") {
+			return fmt.Sprintf("canon.%s", fn.Name()), true
+		}
+	}
+	return "", false
+}

@@ -31,8 +31,11 @@ func (e *engine) count() int {
 	if err != nil {
 		panic(err)
 	}
-	diags := analysis.Lint(fset, []*ast.File{f}, "example.com/mod/internal/sim",
+	diags, err := analysis.Lint(fset, []*ast.File{f}, "example.com/mod/internal/sim",
 		[]*analysis.Analyzer{analysis.MapIter})
+	if err != nil {
+		panic(err)
+	}
 	for _, d := range diags {
 		fmt.Println(d)
 	}

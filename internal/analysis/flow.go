@@ -1,0 +1,414 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the framework's lightweight intra-function control-flow
+// walk: an abstract interpretation of one function body that evaluates
+// statements in rough execution order, forks the abstract state at
+// branches, and joins it where control re-merges (must-analysis: the
+// join keeps only facts true on every incoming path). It is deliberately
+// not a full CFG — there are no basic blocks and `goto` is treated as
+// terminating — but it models the shapes that matter for lock discipline:
+// sequential lock/unlock, defer-unlock, early returns, if/else, loops,
+// switch/select arms, and goroutine launches (which start from an empty
+// state: a new goroutine inherits no locks).
+//
+// The abstract state is a lockSet. The walker itself knows nothing about
+// sync or about guarded fields; the analyzer supplies that through
+// flowHooks.
+
+// lockMode is the strength of a held guard.
+type lockMode int
+
+// Lock strengths, ordered so the must-join is min().
+const (
+	lockNone  lockMode = iota
+	lockRead           // RLock held: shared reads are safe
+	lockWrite          // Lock held: exclusive, writes are safe
+)
+
+// lockSet maps guard names (the final selector component of the mutex
+// expression: "mu" for s.mu.Lock()) to the strongest mode held on every
+// path reaching the current point.
+type lockSet map[string]lockMode
+
+// clone returns an independent copy.
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// setTo replaces s's contents with o's, in place (the walker mutates one
+// map per path so callers keep their reference).
+func (s lockSet) setTo(o lockSet) {
+	clear(s)
+	for k, v := range o {
+		s[k] = v
+	}
+}
+
+// intersect narrows s to the facts also present in o: guards held on
+// both paths, at the weaker of the two modes.
+func (s lockSet) intersect(o lockSet) {
+	for k, v := range s {
+		ov, ok := o[k]
+		if !ok {
+			delete(s, k)
+			continue
+		}
+		if ov < v {
+			s[k] = ov
+		}
+	}
+}
+
+// flowHooks are the analyzer-specific callbacks of a flow walk.
+type flowHooks struct {
+	// call is invoked for every call expression in evaluation position,
+	// after its operands were visited. deferred marks calls inside a
+	// defer (including calls textually inside a deferred function
+	// literal). The hook may mutate state (a Lock acquires, an Unlock
+	// releases — except deferred unlocks, which hold to function end).
+	call func(call *ast.CallExpr, deferred bool, state lockSet)
+	// access is invoked for every expression evaluated, with the state
+	// in effect and whether the expression is the target of a write
+	// (assignment, ++/--, address-taken, or the base of a written index).
+	access func(e ast.Expr, write bool, state lockSet)
+}
+
+// flowWalker evaluates one function body against the hooks.
+type flowWalker struct {
+	hooks flowHooks
+}
+
+// walkBody runs the walk from the given entry state.
+func (w *flowWalker) walkBody(body *ast.BlockStmt, entry lockSet) {
+	w.block(body, entry)
+}
+
+// block evaluates a statement list sequentially; the walk stops at the
+// first terminating statement (anything after it is unreachable).
+func (w *flowWalker) block(b *ast.BlockStmt, state lockSet) (terminated bool) {
+	if b == nil {
+		return false
+	}
+	return w.stmtList(b.List, state)
+}
+
+func (w *flowWalker) stmtList(list []ast.Stmt, state lockSet) (terminated bool) {
+	for _, s := range list {
+		if w.stmt(s, state) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt evaluates one statement, mutating state in place, and reports
+// whether control cannot continue past it.
+func (w *flowWalker) stmt(s ast.Stmt, state lockSet) (terminated bool) {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		return w.block(s, state)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, state)
+	case *ast.ExprStmt:
+		w.expr(s.X, false, state)
+		return isPanicCall(s.X)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, false, state)
+		}
+		for _, l := range s.Lhs {
+			w.lvalue(l, state)
+		}
+		return false
+	case *ast.IncDecStmt:
+		w.lvalue(s.X, state)
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, false, state)
+					}
+				}
+			}
+		}
+		return false
+	case *ast.SendStmt:
+		w.expr(s.Chan, false, state)
+		w.expr(s.Value, false, state)
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, false, state)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto end the current straight-line path; their
+		// state is conservatively dropped rather than merged at the
+		// target. fallthrough continues into the next case body, which
+		// the switch join already covers.
+		return s.Tok != token.FALLTHROUGH
+	case *ast.DeferStmt:
+		w.deferredCall(s.Call, state)
+		return false
+	case *ast.GoStmt:
+		// Arguments evaluate now, under the current state; the launched
+		// body runs on a fresh goroutine holding nothing.
+		w.expr(s.Call.Fun, false, state)
+		for _, a := range s.Call.Args {
+			if fl, ok := a.(*ast.FuncLit); ok {
+				w.block(fl.Body, lockSet{})
+				continue
+			}
+			w.expr(a, false, state)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.block(fl.Body, lockSet{})
+		}
+		return false
+	case *ast.IfStmt:
+		w.stmt(s.Init, state)
+		w.expr(s.Cond, false, state)
+		thenState := state.clone()
+		thenTerm := w.block(s.Body, thenState)
+		elseState := state.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseState)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			state.setTo(elseState)
+		case elseTerm:
+			state.setTo(thenState)
+		default:
+			thenState.intersect(elseState)
+			state.setTo(thenState)
+		}
+		return false
+	case *ast.ForStmt:
+		w.stmt(s.Init, state)
+		if s.Cond != nil {
+			w.expr(s.Cond, false, state)
+		}
+		bodyState := state.clone()
+		bodyTerm := w.block(s.Body, bodyState)
+		if !bodyTerm {
+			w.stmt(s.Post, bodyState)
+			// The loop may run zero times, so the after-loop state is
+			// what held before intersected with what one iteration left.
+			state.intersect(bodyState)
+		}
+		return false
+	case *ast.RangeStmt:
+		w.expr(s.X, false, state)
+		bodyState := state.clone()
+		if !w.block(s.Body, bodyState) {
+			state.intersect(bodyState)
+		}
+		return false
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, state)
+		if s.Tag != nil {
+			w.expr(s.Tag, false, state)
+		}
+		return w.caseBodies(s.Body, state, hasDefaultCase(s.Body))
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, state)
+		w.stmt(s.Assign, state)
+		return w.caseBodies(s.Body, state, hasDefaultCase(s.Body))
+	case *ast.SelectStmt:
+		// Exactly one comm clause runs, so the join spans the clauses
+		// only — but a select with no default may also be the last thing
+		// a function does; keep the pre-state in the join for safety.
+		return w.caseBodies(s.Body, state, hasDefaultCase(s.Body))
+	}
+	return false
+}
+
+// caseBodies evaluates each case clause of a switch/select body from a
+// fork of the incoming state and joins the survivors. When no default
+// exists the incoming state joins too (the switch may select nothing).
+func (w *flowWalker) caseBodies(body *ast.BlockStmt, state lockSet, exhaustive bool) bool {
+	var joined lockSet
+	join := func(s lockSet) {
+		if joined == nil {
+			joined = s
+			return
+		}
+		joined.intersect(s)
+	}
+	allTerminated := true
+	for _, c := range body.List {
+		caseState := state.clone()
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.expr(e, false, caseState)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			w.stmt(c.Comm, caseState)
+			stmts = c.Body
+		}
+		if !w.stmtList(stmts, caseState) {
+			allTerminated = false
+			join(caseState)
+		}
+	}
+	if !exhaustive {
+		allTerminated = false
+		join(state.clone())
+	}
+	if allTerminated && len(body.List) > 0 {
+		return true
+	}
+	if joined != nil {
+		state.setTo(joined)
+	}
+	return false
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lvalue visits a write target, propagating the write through index and
+// dereference wrappers to the selector or identifier being mutated.
+func (w *flowWalker) lvalue(e ast.Expr, state lockSet) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		w.lvalue(e.X, state)
+	case *ast.IndexExpr:
+		// m[k] = v mutates m.
+		w.expr(e.Index, false, state)
+		w.lvalue(e.X, state)
+	case *ast.StarExpr:
+		// *p = v reads the pointer, mutates the pointee.
+		w.expr(e.X, false, state)
+	case *ast.SelectorExpr:
+		w.hooks.access(e, true, state)
+		w.expr(e.X, false, state)
+	default:
+		w.expr(e, false, state)
+	}
+}
+
+// expr visits an expression read, invoking the access hook on it and
+// recursing into its operands; calls additionally invoke the call hook.
+func (w *flowWalker) expr(e ast.Expr, write bool, state lockSet) {
+	if e == nil {
+		return
+	}
+	w.hooks.access(e, write, state)
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		w.expr(e.X, write, state)
+	case *ast.SelectorExpr:
+		w.expr(e.X, false, state)
+	case *ast.IndexExpr:
+		w.expr(e.X, false, state)
+		w.expr(e.Index, false, state)
+	case *ast.IndexListExpr:
+		w.expr(e.X, false, state)
+		for _, i := range e.Indices {
+			w.expr(i, false, state)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, false, state)
+		w.expr(e.Low, false, state)
+		w.expr(e.High, false, state)
+		w.expr(e.Max, false, state)
+	case *ast.StarExpr:
+		w.expr(e.X, false, state)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// Taking a field's address hands out a mutable alias; treat
+			// it as a write so guards cover it.
+			w.lvalue(e.X, state)
+			return
+		}
+		w.expr(e.X, false, state)
+	case *ast.BinaryExpr:
+		w.expr(e.X, false, state)
+		w.expr(e.Y, false, state)
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, false, state)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, false, state)
+		}
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, false, state)
+	case *ast.CallExpr:
+		w.expr(e.Fun, false, state)
+		for _, a := range e.Args {
+			w.expr(a, false, state)
+		}
+		w.hooks.call(e, false, state)
+	case *ast.FuncLit:
+		// A literal not launched via go is either invoked here or stored
+		// and called later from a similar context; analyze its body under
+		// the current state, discarding its effects.
+		w.block(e.Body, state.clone())
+	}
+}
+
+// deferredCall evaluates a deferred call: operands now, the call itself
+// flagged deferred (a deferred unlock keeps its guard held to function
+// end). A deferred function literal's body is scanned in deferred mode
+// too, so `defer func() { mu.Unlock() }()` behaves like the direct form.
+func (w *flowWalker) deferredCall(call *ast.CallExpr, state lockSet) {
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				w.hooks.call(c, true, state)
+			}
+			return true
+		})
+		return
+	}
+	w.expr(call.Fun, false, state)
+	for _, a := range call.Args {
+		w.expr(a, false, state)
+	}
+	w.hooks.call(call, true, state)
+}
+
+// isPanicCall reports whether the expression statement is a bare call to
+// the predeclared panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

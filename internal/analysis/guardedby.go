@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GuardedBy enforces lock discipline on annotated fields: a struct field
+// whose comment carries //optlint:guardedby mu may only be read while a
+// lock named mu is held (Lock or RLock) on every path reaching the
+// access, and only be written under the exclusive Lock. Held state is
+// computed by the intra-function flow walk: sequential Lock/Unlock,
+// defer-unlock (direct or inside a deferred function literal), branches
+// (must-join), loops, switch/select arms, and goroutine launches (a new
+// goroutine holds nothing).
+//
+// Helper methods are part of the contract: a function whose doc comment
+// carries //optlint:locked mu is checked assuming mu is held at entry,
+// and every direct call to it must itself happen with mu held — the
+// sched.go statusLocked / rollLocked idiom, mechanized.
+//
+// Guards are matched by name (the final selector component of the mutex
+// expression), not by object identity: s.mu.Lock() satisfies a field
+// guarded by "mu" regardless of which struct s is. That keeps the checker
+// lightweight; packages with two unrelated mutexes of the same name
+// should rename one.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated //optlint:guardedby mu are only touched with mu held",
+	Run:  runGuardedBy,
+}
+
+func runGuardedBy(p *Pass) {
+	guards := collectGuardedFields(p)
+	locked := collectLockedFuncs(p)
+	if len(guards) == 0 && len(locked) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			entry := lockSet{}
+			if g, ok := locked[p.Info.Defs[fn.Name]]; ok {
+				entry[g] = lockWrite
+			}
+			w := &flowWalker{hooks: flowHooks{
+				call: func(call *ast.CallExpr, deferred bool, state lockSet) {
+					p.applyLockCall(call, deferred, state)
+					p.checkLockedCallee(call, locked, state)
+				},
+				access: func(e ast.Expr, write bool, state lockSet) {
+					p.checkGuardedAccess(e, write, guards, state)
+				},
+			}}
+			w.walkBody(fn.Body, entry)
+		}
+	}
+}
+
+// collectGuardedFields maps each annotated struct field's object to its
+// guard name. Annotations live in the field's own doc or trailing
+// comment: //optlint:guardedby <guard>.
+func collectGuardedFields(p *Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := fieldGuardName(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						guards[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// fieldGuardName extracts the guard from a field's guardedby directive.
+func fieldGuardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if args, ok := directiveArgs(c.Text, guardedbyMarker); ok && len(args) == 1 {
+				return args[0]
+			}
+		}
+	}
+	return ""
+}
+
+// collectLockedFuncs maps functions annotated //optlint:locked <guard>
+// to their guard: they run with it held and may only be called with it
+// held.
+func collectLockedFuncs(p *Pass) map[types.Object]string {
+	locked := map[types.Object]string{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if args, ok := directiveArgs(c.Text, lockedMarker); ok && len(args) == 1 {
+					if obj := p.Info.Defs[fn.Name]; obj != nil {
+						locked[obj] = args[0]
+					}
+				}
+			}
+		}
+	}
+	return locked
+}
+
+// applyLockCall updates the lock state for mutex method calls. The
+// method must resolve to package sync (so a local type's Lock method
+// does not count), and the guard is the final name of the receiver
+// expression: s.mu.Lock() acquires "mu".
+func (p *Pass) applyLockCall(call *ast.CallExpr, deferred bool, state lockSet) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := p.Info.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return
+	}
+	guard := finalName(sel.X)
+	if guard == "" {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		if !deferred {
+			state[guard] = lockWrite
+		}
+	case "RLock":
+		if !deferred && state[guard] < lockRead {
+			state[guard] = lockRead
+		}
+	case "Unlock", "RUnlock":
+		// A deferred unlock releases at return, so the guard stays held
+		// for the rest of the walk.
+		if !deferred {
+			delete(state, guard)
+		}
+	}
+}
+
+// checkLockedCallee reports direct calls to //optlint:locked functions
+// made without their guard held.
+func (p *Pass) checkLockedCallee(call *ast.CallExpr, locked map[types.Object]string, state lockSet) {
+	if len(locked) == 0 {
+		return
+	}
+	var callee types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee = p.Info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		callee = p.Info.ObjectOf(fun.Sel)
+	}
+	if callee == nil {
+		return
+	}
+	guard, ok := locked[callee]
+	if !ok {
+		return
+	}
+	if state[guard] == lockNone {
+		p.Reportf(call.Pos(),
+			"call to %s requires %s held (//optlint:locked %s), but no path to this call locks it",
+			callee.Name(), guard, guard)
+	}
+}
+
+// checkGuardedAccess reports reads of guarded fields without the guard
+// and writes without the exclusive lock.
+func (p *Pass) checkGuardedAccess(e ast.Expr, write bool, guards map[*types.Var]string, state lockSet) {
+	if len(guards) == 0 {
+		return
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := p.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard, ok := guards[v]
+	if !ok {
+		return
+	}
+	held := state[guard]
+	switch {
+	case held == lockNone:
+		p.Reportf(sel.Sel.Pos(),
+			"field %s is guarded by %s (//optlint:guardedby) but accessed without holding it on every path",
+			v.Name(), guard)
+	case write && held < lockWrite:
+		p.Reportf(sel.Sel.Pos(),
+			"write to field %s needs the exclusive %s.Lock, but only %s.RLock is held",
+			v.Name(), guard, guard)
+	}
+}
+
+// finalName returns the last identifier of a selector chain ("mu" for
+// s.inner.mu), or "" when the expression is not a plain chain.
+func finalName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

@@ -3,17 +3,28 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
 
-// HotPath reports heap-allocating constructs inside functions whose doc
-// comment carries the //optlint:hotpath directive — the engine step path
-// that TestSteadyStateAllocFree pins to 0 allocs/op. Flagged: make, new,
-// map and slice literals, closures that capture variables (non-capturing
-// function literals are static and free), and append calls that are not
-// the self-append reuse idiom `x = append(x, ...)` (growth of a pooled
-// buffer is amortized; growth of a fresh slice is a per-call allocation).
+// HotPath reports constructs that allocate — or force heap escapes —
+// inside functions whose doc comment carries the //optlint:hotpath
+// directive: the engine step path that TestSteadyStateAllocFree pins to
+// 0 allocs/op. Flagged, all type-resolved:
+//
+//   - make, new, map and slice literals; append calls that are not the
+//     self-append reuse idiom `x = append(x, ...)` (growth of a pooled
+//     buffer is amortized; growth of a fresh slice is a per-call
+//     allocation);
+//   - closures that capture variables of the enclosing function (a
+//     captured variable moves to the heap with the closure; a
+//     non-capturing literal compiles to a static function value);
+//   - any call into package fmt (every fmt call boxes its operands and
+//     walks reflection);
+//   - interface boxing: passing, assigning, returning or converting a
+//     concrete value into an interface-typed slot forces the value to
+//     escape (or at minimum materializes an iface pair per call).
 //
 // The `//optlint:hotpath packed` variant marks word-packed kernels —
 // functions whose occupancy keys are composed with shift/mask on
@@ -22,12 +33,11 @@ import (
 // DIV-latency the padded layout exists to avoid.
 var HotPath = &Analyzer{
 	Name: "hotpath",
-	Doc:  "no allocating constructs in //optlint:hotpath functions",
+	Doc:  "no allocating or boxing constructs in //optlint:hotpath functions",
 	Run:  runHotPath,
 }
 
 func runHotPath(p *Pass) {
-	decls := packageDecls(p.Files)
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -38,7 +48,7 @@ func runHotPath(p *Pass) {
 			if !hot {
 				continue
 			}
-			checkHotFunc(p, fn, decls, packed)
+			p.checkHotFunc(fn, packed)
 		}
 	}
 }
@@ -51,43 +61,41 @@ func hotPathDirective(fn *ast.FuncDecl) (hot, packed bool) {
 		return false, false
 	}
 	for _, c := range fn.Doc.List {
-		switch strings.Join(strings.Fields(c.Text), " ") {
-		case hotpathMarker:
-			hot = true
-		case hotpathMarker + " packed":
-			hot, packed = true, true
+		args, ok := directiveArgs(c.Text, hotpathMarker)
+		if !ok {
+			continue
+		}
+		hot = true
+		if len(args) == 1 && args[0] == "packed" {
+			packed = true
 		}
 	}
 	return hot, packed
 }
 
-func checkHotFunc(p *Pass, fn *ast.FuncDecl, decls map[string]bool, packed bool) {
+func (p *Pass) checkHotFunc(fn *ast.FuncDecl, packed bool) {
 	name := fn.Name.Name
 	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.BinaryExpr:
-			if packed && (n.Op == token.QUO || n.Op == token.REM) {
+			if packed && (n.Op == token.QUO || n.Op == token.REM) && isIntegerExpr(p, n.X) {
 				p.Reportf(n.OpPos, "packed kernel %s uses %s: compose keys with shift/mask on the power-of-two stride instead", name, n.Op)
 			}
 		case *ast.AssignStmt:
-			if packed && (n.Tok == token.QUO_ASSIGN || n.Tok == token.REM_ASSIGN) {
+			if packed && (n.Tok == token.QUO_ASSIGN || n.Tok == token.REM_ASSIGN) && isIntegerExpr(p, n.Lhs[0]) {
 				p.Reportf(n.TokPos, "packed kernel %s uses %s: compose keys with shift/mask on the power-of-two stride instead", name, n.Tok)
 			}
+			p.checkBoxedAssign(name, n.Lhs, n.Rhs)
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(n.Names))
+			for i, id := range n.Names {
+				lhs[i] = id
+			}
+			p.checkBoxedAssign(name, lhs, n.Values)
+		case *ast.ReturnStmt:
+			p.checkBoxedReturn(name, fn, n)
 		case *ast.CallExpr:
-			id, ok := n.Fun.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			switch id.Name {
-			case "make":
-				p.Reportf(n.Pos(), "hot path %s calls make: allocates every call; reuse a pooled buffer", name)
-			case "new":
-				p.Reportf(n.Pos(), "hot path %s calls new: allocates every call; reuse a pooled object", name)
-			case "append":
-				if !isSelfAppend(n, stack) {
-					p.Reportf(n.Pos(), "hot path %s: append is not the self-append reuse idiom `x = append(x, ...)`; growth of a fresh slice allocates", name)
-				}
-			}
+			p.checkHotCall(name, n, stack)
 		case *ast.CompositeLit:
 			switch t := n.Type.(type) {
 			case *ast.MapType:
@@ -98,12 +106,161 @@ func checkHotFunc(p *Pass, fn *ast.FuncDecl, decls map[string]bool, packed bool)
 				}
 			}
 		case *ast.FuncLit:
-			if caps := capturedVars(n, decls); len(caps) > 0 {
+			if caps := p.capturedVars(fn, n); len(caps) > 0 {
 				p.Reportf(n.Pos(), "hot path %s: closure captures %s and may allocate; hoist the state or pass it as a parameter", name, strings.Join(caps, ", "))
 			}
 		}
 		return true
 	})
+}
+
+// checkHotCall reports allocating builtins, fmt calls, interface
+// conversions and boxing call arguments inside a hot function.
+func (p *Pass) checkHotCall(name string, call *ast.CallExpr, stack []ast.Node) {
+	// Conversions: T(x) with T an interface type boxes x.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && types.IsInterface(tv.Type) && !isInterfaceValue(p, call.Args[0]) {
+			p.Reportf(call.Pos(), "hot path %s: conversion to interface %s boxes its operand onto the heap", name, tv.Type.String())
+		}
+		return
+	}
+
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			p.Reportf(call.Pos(), "hot path %s calls make: allocates every call; reuse a pooled buffer", name)
+			return
+		case "new":
+			p.Reportf(call.Pos(), "hot path %s calls new: allocates every call; reuse a pooled object", name)
+			return
+		case "append":
+			if !isSelfAppend(call, stack) {
+				p.Reportf(call.Pos(), "hot path %s: append is not the self-append reuse idiom `x = append(x, ...)`; growth of a fresh slice allocates", name)
+			}
+			return
+		}
+	}
+
+	if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		p.Reportf(call.Pos(), "hot path %s calls fmt.%s: fmt boxes every operand and reflects over it; format off the hot path or hand-roll the digits", name, fn.Name())
+		return
+	}
+
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if isInterfaceValue(p, arg) {
+			continue
+		}
+		p.Reportf(arg.Pos(), "hot path %s: argument %s boxes into interface parameter %s; take a concrete type or hoist the call", name, exprString(arg), pt.String())
+	}
+}
+
+// checkBoxedAssign reports assignments storing a concrete value into an
+// interface-typed target.
+func (p *Pass) checkBoxedAssign(name string, lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return // tuple assignment from a call: boxing happened at the callee
+	}
+	for i := range lhs {
+		lt := p.Info.TypeOf(lhs[i])
+		if lt == nil || !types.IsInterface(lt) {
+			continue
+		}
+		if isInterfaceValue(p, rhs[i]) {
+			continue
+		}
+		p.Reportf(rhs[i].Pos(), "hot path %s: assigning %s into interface-typed %s boxes it onto the heap", name, exprString(rhs[i]), exprString(lhs[i]))
+	}
+}
+
+// checkBoxedReturn reports returns that box concrete values into
+// interface-typed results of the hot function.
+func (p *Pass) checkBoxedReturn(name string, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	res := obj.Type().(*types.Signature).Results()
+	if res.Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		if !types.IsInterface(res.At(i).Type()) || isInterfaceValue(p, r) {
+			continue
+		}
+		p.Reportf(r.Pos(), "hot path %s: returning %s as interface %s boxes it onto the heap", name, exprString(r), res.At(i).Type().String())
+	}
+}
+
+// calleeFunc resolves the called function or method object, nil for
+// builtins, type conversions and indirect calls.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// paramType returns the type of parameter i of sig, unrolling variadics;
+// spread marks an explicit `...` call, whose final argument is passed
+// through unboxed.
+func paramType(sig *types.Signature, i int, spread bool) types.Type {
+	params := sig.Params()
+	if sig.Variadic() {
+		last := params.Len() - 1
+		if i < last {
+			return params.At(i).Type()
+		}
+		if spread {
+			return nil // the slice is passed as-is
+		}
+		slice, ok := params.At(last).Type().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return slice.Elem()
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// isInterfaceValue reports whether the expression already has interface
+// type (no boxing on the way into another interface slot) or is the
+// untyped nil.
+func isInterfaceValue(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return true // be quiet rather than wrong
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	return types.IsInterface(t)
+}
+
+// isIntegerExpr reports whether the expression's static type is an
+// integer — the packed-kernel / and % rule does not apply to float math.
+func isIntegerExpr(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return true // unresolved: keep the old syntactic behavior
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
 }
 
 // isSelfAppend reports whether the append call sits in a statement of the
@@ -129,82 +286,37 @@ func isSelfAppend(call *ast.CallExpr, stack []ast.Node) bool {
 	return false
 }
 
-// capturedVars returns the free variables of the function literal: names
-// used inside it that are neither declared within it, nor predeclared,
-// nor package-level. A closure with no free variables compiles to a
-// static function value and never allocates.
-func capturedVars(fl *ast.FuncLit, pkgDecls map[string]bool) []string {
-	declared := map[string]bool{}
-	addFieldList := func(list *ast.FieldList) {
-		if list == nil {
-			return
-		}
-		for _, fld := range list.List {
-			for _, name := range fld.Names {
-				declared[name.Name] = true
-			}
-		}
-	}
-	addFieldList(fl.Type.Params)
-	addFieldList(fl.Type.Results)
+// capturedVars returns the free variables of the function literal,
+// resolved through the type checker: objects used inside the literal
+// that are declared in the enclosing function but outside the literal.
+// Package-level and predeclared names are not captures, and a closure
+// with no captures compiles to a static function value.
+func (p *Pass) capturedVars(fn *ast.FuncDecl, fl *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var caps []string
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			if n.Tok == token.DEFINE {
-				for _, lhs := range n.Lhs {
-					if id, ok := lhs.(*ast.Ident); ok {
-						declared[id.Name] = true
-					}
-				}
-			}
-		case *ast.RangeStmt:
-			if n.Tok == token.DEFINE {
-				if id, ok := n.Key.(*ast.Ident); ok {
-					declared[id.Name] = true
-				}
-				if id, ok := n.Value.(*ast.Ident); ok {
-					declared[id.Name] = true
-				}
-			}
-		case *ast.ValueSpec:
-			for _, name := range n.Names {
-				declared[name.Name] = true
-			}
-		case *ast.FuncLit:
-			addFieldList(n.Type.Params)
-			addFieldList(n.Type.Results)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos < fn.Pos() || pos > fn.End() { // not local to the enclosing function
+			return true
+		}
+		if pos >= fl.Pos() && pos <= fl.End() { // declared inside the literal
+			return true
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			caps = append(caps, v.Name())
 		}
 		return true
 	})
-
-	used := map[string]bool{}
-	var scan func(n ast.Node)
-	scan = func(n ast.Node) {
-		ast.Inspect(n, func(m ast.Node) bool {
-			switch m := m.(type) {
-			case *ast.SelectorExpr:
-				scan(m.X) // never treat the .Sel field name as a variable
-				return false
-			case *ast.KeyValueExpr:
-				// Struct-literal field keys are not variable uses; map keys
-				// that are idents are rare enough to accept the miss.
-				scan(m.Value)
-				return false
-			case *ast.Ident:
-				used[m.Name] = true
-			}
-			return true
-		})
-	}
-	scan(fl.Body)
-
-	var caps []string
-	for name := range used {
-		if declared[name] || universe[name] || pkgDecls[name] {
-			continue
-		}
-		caps = append(caps, name)
-	}
 	sort.Strings(caps)
 	return caps
 }

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,16 +28,20 @@ func ModulePath(root string) (string, error) {
 }
 
 // LintModule walks every package directory under root (skipping hidden
-// directories and testdata), parses the non-test Go files, and runs the
-// given analyzers with Lint. modulePath anchors the per-package import
-// paths that package-scoped analyzers match against. Diagnostics come
-// back sorted by directory, then position.
+// directories and testdata), parses the non-test Go files, type-checks
+// the packages in dependency order (module-internal imports resolve from
+// the packages checked earlier in the same run, everything else from the
+// shared stdlib importer), and runs the given analyzers. modulePath
+// anchors the per-package import paths that package-scoped analyzers
+// match against. Diagnostics come back sorted by directory, then
+// position.
 func LintModule(root, modulePath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	dirs, err := packageDirs(root)
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
+	fset := token.NewFileSet()
+	var pkgs []*parsedPackage
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
@@ -46,7 +51,6 @@ func LintModule(root, modulePath string, analyzers []*Analyzer) ([]Diagnostic, e
 		if rel != "." {
 			pkgPath = modulePath + "/" + filepath.ToSlash(rel)
 		}
-		fset := token.NewFileSet()
 		files, err := parseDir(fset, dir)
 		if err != nil {
 			return nil, err
@@ -54,7 +58,27 @@ func LintModule(root, modulePath string, analyzers []*Analyzer) ([]Diagnostic, e
 		if len(files) == 0 {
 			continue
 		}
-		diags = append(diags, Lint(fset, files, pkgPath, analyzers)...)
+		pkgs = append(pkgs, &parsedPackage{
+			path:    pkgPath,
+			files:   files,
+			imports: moduleImports(files, modulePath),
+		})
+	}
+
+	module := make(map[string]*types.Package, len(pkgs))
+	typed := make(map[string]*types.Info, len(pkgs))
+	for _, p := range checkOrder(pkgs) {
+		pkg, info, err := checkPackage(fset, p.path, p.files, module)
+		if err != nil {
+			return nil, err
+		}
+		module[p.path] = pkg
+		typed[p.path] = info
+	}
+
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		diags = append(diags, lintTyped(fset, p.files, p.path, module[p.path], typed[p.path], analyzers)...)
 	}
 	return diags, nil
 }

@@ -13,9 +13,22 @@ import (
 const directiveAnalyzerName = "optlint"
 
 const (
-	allowPrefix   = "//optlint:allow"
-	hotpathMarker = "//optlint:hotpath"
+	allowPrefix     = "//optlint:allow"
+	hotpathMarker   = "//optlint:hotpath"
+	guardedbyMarker = "//optlint:guardedby"
+	lockedMarker    = "//optlint:locked"
+	sinkMarker      = "//optlint:sink"
 )
+
+// directiveArgs splits a marker directive's arguments: the fields after
+// the marker prefix. ok is false when text is not that directive at all.
+func directiveArgs(text, marker string) (args []string, ok bool) {
+	rest, ok := strings.CutPrefix(text, marker)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, false
+	}
+	return strings.Fields(rest), true
+}
 
 // suppressions records which analyzer names are allowed where: per whole
 // file, and per (file, line). A line directive covers its own line and
@@ -58,14 +71,34 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]
 				if !strings.HasPrefix(text, "//optlint:") {
 					continue
 				}
-				if text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" ") {
+				if args, ok := directiveArgs(text, hotpathMarker); ok {
 					// Consumed by the hotpath analyzer; the only argument it
 					// understands is `packed`, so anything else is a typo that
 					// would otherwise silently mark nothing.
-					if args := strings.Fields(strings.TrimPrefix(text, hotpathMarker)); len(args) > 0 &&
-						!(len(args) == 1 && args[0] == "packed") {
+					if len(args) > 0 && !(len(args) == 1 && args[0] == "packed") {
 						bad(c.Pos(), "optlint:hotpath argument %q not recognized (known: packed)", strings.Join(args, " "))
 					}
+					continue
+				}
+				if args, ok := directiveArgs(text, guardedbyMarker); ok {
+					// Consumed by the guardedby analyzer from struct-field
+					// comments; it needs exactly one guard name.
+					if len(args) != 1 {
+						bad(c.Pos(), "optlint:guardedby wants exactly one guard name, got %d", len(args))
+					}
+					continue
+				}
+				if args, ok := directiveArgs(text, lockedMarker); ok {
+					// Consumed by the guardedby analyzer from function doc
+					// comments: the function runs with the named guard held.
+					if len(args) != 1 {
+						bad(c.Pos(), "optlint:locked wants exactly one guard name, got %d", len(args))
+					}
+					continue
+				}
+				if _, ok := directiveArgs(text, sinkMarker); ok {
+					// Consumed by the dettaint analyzer from function doc
+					// comments; any trailing words are rationale.
 					continue
 				}
 				rest, ok := strings.CutPrefix(text, allowPrefix)
@@ -74,7 +107,7 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]
 					if i := strings.IndexAny(verb, " \t"); i >= 0 {
 						verb = verb[:i]
 					}
-					bad(c.Pos(), "unknown optlint directive %q (known: allow, hotpath)", verb)
+					bad(c.Pos(), "unknown optlint directive %q (known: allow, hotpath, guardedby, locked, sink)", verb)
 					continue
 				}
 				fields := strings.Fields(rest)

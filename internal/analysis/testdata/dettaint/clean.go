@@ -1,0 +1,27 @@
+package fixtures
+
+import (
+	"strconv"
+	"time"
+)
+
+// stableKey feeds only deterministic inputs to the sink.
+func stableKey(name string, trial int) string {
+	return encodeKey(name, strconv.Itoa(trial))
+}
+
+// logLatency uses the clock freely: timing that never reaches the sink
+// is not a finding.
+func logLatency(start time.Time) int64 {
+	return time.Since(start).Nanoseconds()
+}
+
+// singleReceive binds from one channel; with a lone communication clause
+// there is no completion-order race to taint the value.
+func singleReceive(c chan string) string {
+	var v string
+	select {
+	case v = <-c:
+	}
+	return encodeKey(v)
+}

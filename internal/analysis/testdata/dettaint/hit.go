@@ -1,0 +1,38 @@
+// Package fixtures exercises the dettaint analyzer: values derived from
+// nondeterministic sources must not reach //optlint:sink functions.
+package fixtures
+
+import (
+	"strconv"
+	"time"
+)
+
+// encodeKey stands in for canon.Encode: the job-key boundary where every
+// byte must be reproducible across fixed-seed runs.
+//
+//optlint:sink job keys must be byte-identical across runs
+func encodeKey(parts ...string) string {
+	out := ""
+	for _, p := range parts {
+		out += p
+	}
+	return out
+}
+
+// stampedKey folds the wall clock into a job key: two identical
+// submissions would hash differently.
+func stampedKey(name string) string {
+	now := time.Now().UnixNano()
+	stamp := strconv.FormatInt(now, 10)
+	return encodeKey(name, stamp)
+}
+
+// racedKey keys off whichever worker answers first.
+func racedKey(a, b chan string) string {
+	var first string
+	select {
+	case first = <-a:
+	case first = <-b:
+	}
+	return encodeKey(first)
+}

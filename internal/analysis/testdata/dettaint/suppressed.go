@@ -1,0 +1,14 @@
+package fixtures
+
+import (
+	"strconv"
+	"time"
+)
+
+// sessionKey intentionally embeds the wall clock: the contract here is
+// uniqueness per run, not replayability, and the suppression records it.
+func sessionKey(name string) string {
+	nonce := time.Now().UnixNano()
+	//optlint:allow dettaint session keys are unique-per-run by design, never replayed
+	return encodeKey(name, strconv.FormatInt(nonce, 10))
+}

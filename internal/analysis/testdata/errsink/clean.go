@@ -1,0 +1,30 @@
+package fixtures
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// persistChecked propagates every failure on the durability path.
+func persistChecked(f *os.File, line string) error {
+	if _, err := f.WriteString(line); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// buffered writes through a concrete *bufio.Writer: errors are sticky
+// and surface at the checked Flush, so the Fprintf itself is exempt.
+func buffered(w *bufio.Writer, n int) error {
+	fmt.Fprintf(w, "count=%d\n", n)
+	return w.Flush()
+}
+
+// bestEffortClose discards explicitly; `_ =` states intent.
+func bestEffortClose(f *os.File) {
+	_ = f.Close()
+}

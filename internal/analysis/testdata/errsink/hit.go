@@ -1,0 +1,27 @@
+// Package fixtures exercises the errsink analyzer: discarded errors on
+// the flush-and-close path lose the only signal that data reached disk,
+// and fmt.Fprint* to an abstract writer hides mid-response failures.
+package fixtures
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// persist drops the error of every call that matters.
+func persist(f *os.File, line string) {
+	f.WriteString(line)
+	f.Sync()
+	f.Close()
+}
+
+// deferredClose drops the close error at function exit.
+func deferredClose(f *os.File) {
+	defer f.Close()
+}
+
+// respond writes a response body and never learns whether it arrived.
+func respond(w io.Writer, n int) {
+	fmt.Fprintf(w, "count=%d\n", n)
+}

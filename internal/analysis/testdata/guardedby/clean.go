@@ -1,0 +1,47 @@
+package fixtures
+
+import "sync"
+
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int //optlint:guardedby mu
+}
+
+// lookup reads under the read lock, released by defer.
+func (t *table) lookup(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+// store writes under the exclusive lock with paired unlock.
+func (t *table) store(k string, v int) {
+	t.mu.Lock()
+	t.rows[k] = v
+	t.mu.Unlock()
+}
+
+// bumpLocked is a helper running with mu already held.
+//
+//optlint:locked mu
+func (t *table) bumpLocked(k string) {
+	t.rows[k]++
+}
+
+// bump takes the lock and delegates to the locked helper.
+func (t *table) bump(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bumpLocked(k)
+}
+
+// bothBranches locks on every path, so the must-join keeps the guard.
+func (t *table) bothBranches(k string, wide bool) int {
+	if wide {
+		t.mu.Lock()
+	} else {
+		t.mu.Lock()
+	}
+	defer t.mu.Unlock()
+	return t.rows[k]
+}

@@ -1,0 +1,53 @@
+// Package fixtures exercises the guardedby analyzer: fields annotated
+// //optlint:guardedby mu may only be touched while mu is held on every
+// path, and writes need the exclusive lock.
+package fixtures
+
+import "sync"
+
+type gauge struct {
+	mu  sync.RWMutex
+	val int //optlint:guardedby mu
+}
+
+// racyRead touches the field with no lock at all.
+func (g *gauge) racyRead() int {
+	return g.val
+}
+
+// racyWrite holds only the read lock across a write.
+func (g *gauge) racyWrite(v int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.val = v
+}
+
+// halfGuarded locks on one branch only; the must-join drops the guard.
+func (g *gauge) halfGuarded(v int) {
+	if v > 0 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
+	g.val = v
+}
+
+// setLocked runs with mu held by contract.
+//
+//optlint:locked mu
+func (g *gauge) setLocked(v int) {
+	g.val = v
+}
+
+// callsHelperUnlocked violates the helper's contract.
+func (g *gauge) callsHelperUnlocked(v int) {
+	g.setLocked(v)
+}
+
+// leakToGoroutine holds the lock, but the goroutine it launches does not.
+func (g *gauge) leakToGoroutine() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.val++
+	}()
+}

@@ -2,6 +2,11 @@
 // construct inside a //optlint:hotpath function must be reported.
 package fixtures
 
+import (
+	"fmt"
+	"io"
+)
+
 // step is marked hot and violates every allocation rule once.
 //
 //optlint:hotpath
@@ -31,3 +36,21 @@ func scanWord(words []uint64, key, stride int) int {
 	bit %= 3
 	return int(words[wi]>>uint(bit)) + wi + bit
 }
+
+// box is hot and escapes through every boxing channel v2 watches: a fmt
+// call, a concrete argument to an interface parameter, an interface
+// assignment, an interface conversion and an interface return.
+//
+//optlint:hotpath
+func box(w io.Writer, n int) any {
+	fmt.Fprintf(w, "step %d\n", n)
+	record(n)
+	var v any = n
+	v = any(n + 1)
+	use(v)
+	return n
+}
+
+func record(v any) {}
+
+func use(v any) {}

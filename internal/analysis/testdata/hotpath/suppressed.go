@@ -1,5 +1,7 @@
 package fixtures
 
+import "fmt"
+
 // grow is hot; its one allocation is capacity-guarded and justified.
 //
 //optlint:hotpath
@@ -17,4 +19,15 @@ func grow(buf []byte, need int) []byte {
 func sanctioned(n, parts int) int {
 	//optlint:allow hotpath cold setup branch: runs once per geometry, not per step
 	return n / parts
+}
+
+// report is hot but its fmt call sits on the cold panic path, sanctioned
+// in place.
+//
+//optlint:hotpath
+func report(n int) {
+	if n < 0 {
+		//optlint:allow hotpath cold panic path: formatting the message once is fine
+		panic(fmt.Sprintf("negative step %d", n))
+	}
 }

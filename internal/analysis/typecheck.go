@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// The typed layer: every linted package is run through the stdlib
+// go/types checker before the analyzers see it, so passes can resolve
+// selector targets (which struct field, which package's function) and
+// static types instead of pattern-matching on names. The zero-dependency
+// rule holds — imports resolve through go/importer's source importer,
+// which type-checks dependencies from GOROOT source; module-internal
+// imports are served from the packages already checked earlier in the
+// same LintModule run (packageDirs returns dependency-closed, sorted
+// directories, and checkOrder topologically orders them).
+//
+// Type-checking is mandatory, not best-effort: a package that fails to
+// type-check fails the lint run with an error rather than silently
+// degrading the typed analyzers to no-ops.
+
+// stdImporter is the process-wide source importer for stdlib packages.
+// It caches every package it checks, so the expensive dependencies
+// (net/http, encoding/json) are type-checked once per process no matter
+// how many packages of the module import them — the package-load cache
+// that keeps repo-wide lint runs fast.
+var stdImporter = struct {
+	mu   sync.Mutex
+	fset *token.FileSet
+	imp  types.Importer
+}{}
+
+func stdlibImport(path string) (*types.Package, error) {
+	stdImporter.mu.Lock()
+	defer stdImporter.mu.Unlock()
+	if stdImporter.imp == nil {
+		// The importer keeps its own FileSet: positions inside imported
+		// packages are never rendered in diagnostics, which always point
+		// into the linted package's own FileSet.
+		stdImporter.fset = token.NewFileSet()
+		stdImporter.imp = importer.ForCompiler(stdImporter.fset, "source", nil)
+	}
+	return stdImporter.imp.Import(path)
+}
+
+// moduleImporter resolves module-internal import paths from the packages
+// type-checked earlier in the run and everything else from the shared
+// stdlib importer.
+type moduleImporter struct {
+	module map[string]*types.Package
+}
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.module[path]; ok {
+		return pkg, nil
+	}
+	return stdlibImport(path)
+}
+
+// newTypesInfo returns a types.Info with every map the analyzers read
+// allocated.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// checkPackage type-checks one package's parsed files. module maps the
+// import paths of already-checked module packages to their types; nil is
+// fine for self-contained packages (fixtures, examples in tests).
+func checkPackage(fset *token.FileSet, pkgPath string, files []*ast.File, module map[string]*types.Package) (*types.Package, *types.Info, error) {
+	info := newTypesInfo()
+	var firstErr error
+	conf := types.Config{
+		Importer: &moduleImporter{module: module},
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, firstErr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
+	}
+	return pkg, info, nil
+}
+
+// parsedPackage is one module package awaiting type-checking: its
+// directory-derived import path, parsed files, and the module-internal
+// paths it imports.
+type parsedPackage struct {
+	path    string
+	files   []*ast.File
+	imports []string
+}
+
+// checkOrder topologically orders the parsed packages so every package
+// is checked after its module-internal dependencies. Ties (and the
+// starting order) follow the sorted path order packageDirs produced, so
+// diagnostics stay deterministic. An import cycle would be a build error
+// anyway; it surfaces here as a missing dependency at check time.
+func checkOrder(pkgs []*parsedPackage) []*parsedPackage {
+	byPath := make(map[string]*parsedPackage, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.path] = p
+	}
+	ordered := make([]*parsedPackage, 0, len(pkgs))
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *parsedPackage)
+	visit = func(p *parsedPackage) {
+		if state[p.path] != 0 {
+			return
+		}
+		state[p.path] = 1
+		for _, imp := range p.imports {
+			if dep, ok := byPath[imp]; ok && state[dep.path] == 0 {
+				visit(dep)
+			}
+		}
+		state[p.path] = 2
+		ordered = append(ordered, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return ordered
+}
+
+// moduleImports returns the module-internal import paths of the files.
+func moduleImports(files []*ast.File, modulePath string) []string {
+	var paths []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := imp.Path.Value
+			path = path[1 : len(path)-1] // strip quotes
+			if path != modulePath && !hasPathPrefix(path, modulePath) {
+				continue
+			}
+			if !seen[path] {
+				seen[path] = true
+				paths = append(paths, path)
+			}
+		}
+	}
+	return paths
+}
+
+func hasPathPrefix(path, prefix string) bool {
+	return len(path) > len(prefix) && path[:len(prefix)] == prefix &&
+		path[len(prefix)] == '/'
+}

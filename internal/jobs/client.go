@@ -34,6 +34,7 @@ func (c *Client) url(path string) string {
 // decode reads one JSON response, translating error envelopes and
 // non-2xx statuses into errors.
 func decode(resp *http.Response, out any) error {
+	//optlint:allow errsink the body is read-only and fully drained below; close cannot lose data
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {

@@ -64,15 +64,15 @@ type job struct {
 	spec     Spec
 	priority int
 	seq      uint64
-	heapIdx  int
+	heapIdx  int //optlint:guardedby mu
 
-	state       JobState
-	fromCache   bool
+	state       JobState //optlint:guardedby mu
+	fromCache   bool     //optlint:guardedby mu
 	totalTrials int
 	doneTrials  atomic.Int64
 	cancel      atomic.Bool
-	err         error
-	result      *Result
+	err         error   //optlint:guardedby mu
+	result      *Result //optlint:guardedby mu
 	done        chan struct{}
 }
 
@@ -84,6 +84,8 @@ type jobHeap []*job
 func (h jobHeap) Len() int { return len(h) }
 
 // Less implements heap.Interface: higher priority first, then FIFO.
+//
+//optlint:locked mu
 func (h jobHeap) Less(i, j int) bool {
 	if h[i].priority != h[j].priority {
 		return h[i].priority > h[j].priority
@@ -92,6 +94,8 @@ func (h jobHeap) Less(i, j int) bool {
 }
 
 // Swap implements heap.Interface, maintaining each job's heap index.
+//
+//optlint:locked mu
 func (h jobHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].heapIdx = i
@@ -99,6 +103,8 @@ func (h jobHeap) Swap(i, j int) {
 }
 
 // Push implements heap.Interface.
+//
+//optlint:locked mu
 func (h *jobHeap) Push(x any) {
 	j := x.(*job)
 	j.heapIdx = len(*h)
@@ -106,6 +112,8 @@ func (h *jobHeap) Push(x any) {
 }
 
 // Pop implements heap.Interface.
+//
+//optlint:locked mu
 func (h *jobHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -143,17 +151,17 @@ type Scheduler struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  jobHeap
-	jobs   map[string]*job
-	seq    uint64
-	closed bool
+	queue  jobHeap         //optlint:guardedby mu
+	jobs   map[string]*job //optlint:guardedby mu
+	seq    uint64          //optlint:guardedby mu
+	closed bool            //optlint:guardedby mu
 	wg     sync.WaitGroup
 
 	started     time.Time
-	running     int
-	cacheHits   uint64
-	cacheMisses uint64
-	jobsDone    uint64
+	running     int    //optlint:guardedby mu
+	cacheHits   uint64 //optlint:guardedby mu
+	cacheMisses uint64 //optlint:guardedby mu
+	jobsDone    uint64 //optlint:guardedby mu
 }
 
 // NewScheduler starts a scheduler over the executor with opts defaults
@@ -295,6 +303,8 @@ func (s *Scheduler) worker() {
 }
 
 // statusLocked snapshots a job; callers hold the scheduler mutex.
+//
+//optlint:locked mu
 func (s *Scheduler) statusLocked(j *job) JobStatus {
 	st := JobStatus{
 		Key:         j.key,

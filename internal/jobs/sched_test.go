@@ -8,12 +8,16 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/testutil"
 )
 
 // newTestScheduler builds a scheduler over a temp store with the given
 // options, registering cleanup.
 func newTestScheduler(t *testing.T, opts Options) *Scheduler {
 	t.Helper()
+	// Registered before the store/scheduler cleanups, so it runs after
+	// them (LIFO) and verifies every worker goroutine actually exited.
+	testutil.VerifyNoLeaks(t)
 	store, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)

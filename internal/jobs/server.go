@@ -1,9 +1,11 @@
 package jobs
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"time"
@@ -203,8 +205,12 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	m := s.Sched.Metrics()
+	// Gauges render into a buffer first: writes to the concrete
+	// *bufio.Writer cannot fail, and the one real failure mode — the
+	// scraper hanging up mid-response — surfaces at the checked Flush.
+	bw := bufio.NewWriter(w)
 	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
 	gauge("optnetd_queue_depth", "Jobs waiting in the priority queue.", float64(m.QueueDepth))
 	gauge("optnetd_jobs_running", "Jobs currently executing.", float64(m.Running))
@@ -216,7 +222,17 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	if m.StoreEntries >= 0 {
 		gauge("optnetd_store_entries", "Live keys in the result store.", float64(m.StoreEntries))
 	}
+	if err := bw.Flush(); err != nil {
+		// The scraper disconnected mid-response; the status line is already
+		// sent, so surfacing the failure to it is impossible. Count nothing:
+		// /metrics must stay side-effect free.
+		httpLogf("jobs: /metrics response truncated: %v", err)
+	}
 }
+
+// httpLogf reports server-side I/O failures that cannot reach the client.
+// It is a variable so tests can capture the message.
+var httpLogf = log.Printf
 
 // snapshot handles GET /snapshot.
 func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {

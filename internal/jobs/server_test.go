@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,12 +13,16 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/testutil"
 )
 
 // newTestServer boots a full stack — store, executor, scheduler, HTTP
 // handler — and returns the test server plus a client pointed at it.
 func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Client, *Scheduler) {
 	t.Helper()
+	// Runs after the server, scheduler and store cleanups (LIFO): an HTTP
+	// handler still streaming or a worker still running is a failure.
+	testutil.VerifyNoLeaks(t)
 	store, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -250,5 +256,61 @@ func TestServerMetrics(t *testing.T) {
 	}
 	if s.Runs != 2 {
 		t.Errorf("/snapshot runs = %d, want 2", s.Runs)
+	}
+}
+
+// failingResponseWriter drops every body write, like a scraper that
+// disconnected after the status line.
+type failingResponseWriter struct{ header http.Header }
+
+func (f *failingResponseWriter) Header() http.Header {
+	if f.header == nil {
+		f.header = http.Header{}
+	}
+	return f.header
+}
+
+func (f *failingResponseWriter) WriteHeader(int) {}
+
+func (f *failingResponseWriter) Write([]byte) (int, error) {
+	return 0, errors.New("connection reset by peer")
+}
+
+// TestServerMetricsTruncatedWrite pins the /metrics error path: a failed
+// response write must be reported through httpLogf, not silently
+// swallowed the way the old unbuffered fmt.Fprintf calls did.
+func TestServerMetricsTruncatedWrite(t *testing.T) {
+	sched := newTestScheduler(t, Options{})
+	srv := &Server{Sched: sched}
+
+	var logged []string
+	old := httpLogf
+	httpLogf = func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	defer func() { httpLogf = old }()
+
+	srv.metrics(&failingResponseWriter{}, httptest.NewRequest("GET", "/metrics", nil))
+
+	if len(logged) != 1 || !strings.Contains(logged[0], "/metrics response truncated") {
+		t.Fatalf("expected one truncated-response log line, got %v", logged)
+	}
+}
+
+// TestServerMetricsBuffered checks the happy path still renders every
+// gauge after the buffering change.
+func TestServerMetricsBuffered(t *testing.T) {
+	sched := newTestScheduler(t, Options{})
+	srv := &Server{Sched: sched}
+	rr := httptest.NewRecorder()
+	srv.metrics(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+	for _, want := range []string{
+		"optnetd_queue_depth", "optnetd_jobs_running", "optnetd_cache_hits_total",
+		"optnetd_jobs_completed_total", "optnetd_store_entries",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %s:\n%s", want, body)
+		}
 	}
 }

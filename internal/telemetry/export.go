@@ -84,8 +84,10 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 }
 
 // writeHistogram emits one snapshot histogram with Prometheus cumulative
-// le buckets.
-func writeHistogram(w io.Writer, name, help string, h *HistogramSnapshot) {
+// le buckets. It takes the concrete *bufio.Writer rather than io.Writer
+// on purpose: buffered writes cannot fail here — errors are sticky and
+// surface at the caller's checked Flush.
+func writeHistogram(w *bufio.Writer, name, help string, h *HistogramSnapshot) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	cum := uint64(0)
 	for i, b := range h.Bounds {
@@ -105,7 +107,7 @@ func writeHistogram(w io.Writer, name, help string, h *HistogramSnapshot) {
 // call NewLive.
 type Live struct {
 	mu  sync.Mutex
-	agg *Collector
+	agg *Collector //optlint:guardedby mu
 }
 
 // NewLive returns an empty live aggregate.

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -424,5 +425,22 @@ func TestHistogramSnapshotQuantile(t *testing.T) {
 		if got := ones.Quantile(q); got != 5 {
 			t.Errorf("single-observation Quantile(%v) = %v, want 5", q, got)
 		}
+	}
+}
+
+// brokenWriter fails every write, standing in for a scraper that hung up.
+type brokenWriter struct{}
+
+func (brokenWriter) Write([]byte) (int, error) {
+	return 0, errors.New("pipe closed")
+}
+
+// TestWritePrometheusPropagatesWriteError pins the error path of the
+// buffered exposition writer: every byte goes through one *bufio.Writer
+// whose sticky error must surface at the final Flush, never be dropped.
+func TestWritePrometheusPropagatesWriteError(t *testing.T) {
+	c := NewCollector()
+	if err := c.Snapshot().WritePrometheus(brokenWriter{}); err == nil {
+		t.Fatal("WritePrometheus to a failing writer returned nil error")
 	}
 }

@@ -1,0 +1,107 @@
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder is a minimal TB capturing what the checker does.
+type recorder struct {
+	cleanups []func()
+	errors   []string
+}
+
+func (r *recorder) Helper()          {}
+func (r *recorder) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+func (r *recorder) runCleanups() {
+	for _, f := range r.cleanups {
+		f()
+	}
+}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+func TestVerifyNoLeaksCleanPass(t *testing.T) {
+	rec := &recorder{}
+	VerifyNoLeaks(rec)
+	rec.runCleanups()
+	if len(rec.errors) != 0 {
+		t.Fatalf("clean test reported leaks: %v", rec.errors)
+	}
+}
+
+func TestVerifyNoLeaksCatchesBlockedGoroutine(t *testing.T) {
+	oldGrace := leakGrace
+	leakGrace = 100 * time.Millisecond
+	defer func() { leakGrace = oldGrace }()
+
+	rec := &recorder{}
+	VerifyNoLeaks(rec)
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	rec.runCleanups()
+	close(block)
+
+	if len(rec.errors) != 1 {
+		t.Fatalf("got %d errors, want 1: %v", len(rec.errors), rec.errors)
+	}
+	if !strings.Contains(rec.errors[0], "goroutine(s) leaked") ||
+		!strings.Contains(rec.errors[0], "TestVerifyNoLeaksCatchesBlockedGoroutine") {
+		t.Errorf("leak report does not identify the leaked goroutine:\n%s", rec.errors[0])
+	}
+}
+
+func TestVerifyNoLeaksWaitsForWindDown(t *testing.T) {
+	// A goroutine that exits shortly after the test body must not flake
+	// the checker: the retry loop absorbs the wind-down.
+	VerifyNoLeaks(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	_ = done
+}
+
+func TestParseStack(t *testing.T) {
+	block := "goroutine 7 [chan receive]:\n" +
+		"repro/internal/jobs.(*Scheduler).worker(0xc000100000)\n" +
+		"\t/root/repo/internal/jobs/sched.go:257 +0x85\n" +
+		"created by repro/internal/jobs.NewScheduler in goroutine 6\n" +
+		"\t/root/repo/internal/jobs/sched.go:191 +0x1d1\n"
+	g, ok := parseStack(block)
+	if !ok {
+		t.Fatal("parseStack rejected a well-formed block")
+	}
+	if g.id != "7" {
+		t.Errorf("id = %q, want 7", g.id)
+	}
+	if g.top != "repro/internal/jobs.(*Scheduler).worker" {
+		t.Errorf("top = %q", g.top)
+	}
+	if allowed(g) {
+		t.Error("a scheduler worker must not be allowlisted")
+	}
+	if runtime, ok := parseStack("goroutine 2 [force gc (idle)]:\nruntime.gopark(0x0, 0x0, 0x0, 0x0, 0x0)\n\t/usr/local/go/src/runtime/proc.go:402\n"); !ok || !allowed(runtime) {
+		t.Error("runtime goroutines must be allowlisted")
+	}
+}
+
+func TestStacksSeesSelf(t *testing.T) {
+	for _, g := range stacks() {
+		if strings.Contains(g.dump, "TestStacksSeesSelf") {
+			return
+		}
+	}
+	t.Error("snapshot does not contain the calling test's own goroutine")
+}
