@@ -261,8 +261,10 @@ func TestEmitBenchTrajectory(t *testing.T) {
 // than 15% in ns/op, or allocates when the baseline did not. It then
 // re-measures the serving hot paths against BENCH_serve.json with a
 // looser 50% slack (they are store-I/O and JSON bound, so they wobble
-// more than the pure kernel). Each point takes the best of three runs to
-// damp scheduler noise. Gated on an env var so plain `go test` stays
+// more than the pure kernel), and the distributed hot paths against
+// BENCH_cluster.json with the loosest slack of all (real HTTP, thief
+// timing). Each point takes the best of three runs to damp scheduler
+// noise. Gated on an env var so plain `go test` stays
 // fast; run with
 //
 //	BENCH_GUARD=1 go test -run TestBenchRegressionGuard .
@@ -370,6 +372,56 @@ func TestBenchRegressionGuard(t *testing.T) {
 		if allocLimit := p.AllocsOp * (100 + serveAllocSlackPct) / 100; bestAllocs > allocLimit {
 			t.Errorf("%s allocates %d allocs/op, baseline %d (+%d%% limit %d)",
 				p.Bench, bestAllocs, p.AllocsOp, serveAllocSlackPct, allocLimit)
+		}
+	}
+
+	// Distributed hot paths: the widest slack of all (+75% ns, +25%
+	// allocs) — these cross real HTTP connections, thief poll timing, and
+	// the replication queue, so they wobble far more than anything
+	// in-process.
+	clusterData, err := os.ReadFile("BENCH_cluster.json")
+	if err != nil {
+		t.Fatalf("reading cluster baseline: %v", err)
+	}
+	var clusterPoints []struct {
+		Bench    string `json:"bench"`
+		NsPerOp  int64  `json:"ns_per_op"`
+		AllocsOp int64  `json:"allocs_per_op"`
+	}
+	if err := json.Unmarshal(clusterData, &clusterPoints); err != nil {
+		t.Fatalf("parsing cluster baseline: %v", err)
+	}
+	clusterBenches := map[string]func(*testing.B){
+		"BenchmarkForwardedSubmit":        BenchmarkForwardedSubmit,
+		"BenchmarkClusterStealThroughput": BenchmarkClusterStealThroughput,
+	}
+	const clusterSlackPct, clusterAllocSlackPct = 75, 25
+	for _, p := range clusterPoints {
+		fn, ok := clusterBenches[p.Bench]
+		if !ok {
+			t.Errorf("cluster baseline names unknown benchmark %q", p.Bench)
+			continue
+		}
+		bestNs, bestAllocs := int64(math.MaxInt64), int64(math.MaxInt64)
+		for run := 0; run < 3; run++ {
+			r := testing.Benchmark(fn)
+			if ns := r.NsPerOp(); ns < bestNs {
+				bestNs = ns
+			}
+			if a := r.AllocsPerOp(); a < bestAllocs {
+				bestAllocs = a
+			}
+		}
+		limit := p.NsPerOp * (100 + clusterSlackPct) / 100
+		t.Logf("%s: %d ns/op (baseline %d, limit %d), %d allocs/op (baseline %d)",
+			p.Bench, bestNs, p.NsPerOp, limit, bestAllocs, p.AllocsOp)
+		if bestNs > limit {
+			t.Errorf("%s regressed: %d ns/op exceeds baseline %d by more than %d%%",
+				p.Bench, bestNs, p.NsPerOp, clusterSlackPct)
+		}
+		if allocLimit := p.AllocsOp * (100 + clusterAllocSlackPct) / 100; bestAllocs > allocLimit {
+			t.Errorf("%s allocates %d allocs/op, baseline %d (+%d%% limit %d)",
+				p.Bench, bestAllocs, p.AllocsOp, clusterAllocSlackPct, allocLimit)
 		}
 	}
 }

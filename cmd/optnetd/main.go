@@ -16,6 +16,13 @@
 //
 // A full queue answers 429 with a Retry-After header; the job key in
 // every response is the spec's content address (see README "Serving").
+//
+// With -peers, N daemons serve one logical namespace: submits forward
+// to the job key's rendezvous owner, idle peers steal trial batches,
+// and completed store segments replicate (see README "Distributed
+// serving"):
+//
+//	optnetd -addr :9090 -self a -peers a=http://h1:9090,b=http://h2:9090 -store ./a
 package main
 
 import (
@@ -25,8 +32,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/jobs"
 	"repro/internal/sim"
@@ -41,6 +50,13 @@ func main() {
 		queue   = flag.Int("queue", 64, "bound on queued jobs before 429")
 		retry   = flag.Duration("retry-after", time.Second, "Retry-After hint for 429 responses")
 		once    = flag.String("once", "", "run the job spec in this file, print the result, exit")
+
+		peers    = flag.String("peers", "", "cluster membership as name=url,name=url (empty = single node)")
+		self     = flag.String("self", "", "this node's name in -peers")
+		replicas = flag.Int("replicas", 1, "extra copies of each record/segment shipped to peers")
+		stealIvl = flag.Duration("steal-interval", 250*time.Millisecond, "idle work-stealing poll period (<0 disables)")
+		stealMax = flag.Int("steal-batch", 8, "max trials per stolen lease")
+		maxHops  = flag.Int("max-hops", 2, "submit forwarding hop bound")
 	)
 	flag.Parse()
 
@@ -74,6 +90,27 @@ func main() {
 		return
 	}
 
+	var node *cluster.Node
+	if *peers != "" {
+		list, err := parsePeers(*peers)
+		if err != nil {
+			fatal(err)
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:          *self,
+			Peers:         list,
+			Replicas:      *replicas,
+			StealInterval: *stealIvl,
+			StealBatch:    *stealMax,
+			MaxHops:       *maxHops,
+			Now:           time.Now,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		node.Wire(exec) // before the scheduler starts executing jobs
+	}
+
 	sched := jobs.NewScheduler(exec, jobs.Options{
 		Workers:    *workers,
 		QueueSize:  *queue,
@@ -81,11 +118,38 @@ func main() {
 		Now:        time.Now,
 	})
 	defer sched.Close()
-	srv := &jobs.Server{Sched: sched, Live: live}
-	log.Printf("optnetd: serving on %s (workers=%d queue=%d store=%q)", *addr, *workers, *queue, *dir)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	var handler http.Handler
+	if node != nil {
+		node.Start(sched, live)
+		defer node.Close()
+		handler = node.Handler()
+		log.Printf("optnetd: serving on %s as cluster node %q (%d peers, workers=%d queue=%d store=%q)",
+			*addr, *self, len(strings.Split(*peers, ",")), *workers, *queue, *dir)
+	} else {
+		srv := &jobs.Server{Sched: sched, Live: live}
+		handler = srv.Handler()
+		log.Printf("optnetd: serving on %s (workers=%d queue=%d store=%q)", *addr, *workers, *queue, *dir)
+	}
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatal(err)
 	}
+}
+
+// parsePeers parses the -peers flag: comma-separated name=url pairs.
+func parsePeers(s string) ([]cluster.Peer, error) {
+	var list []cluster.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("optnetd: bad -peers entry %q (want name=url)", part)
+		}
+		list = append(list, cluster.Peer{Name: name, URL: strings.TrimSuffix(url, "/")})
+	}
+	return list, nil
 }
 
 // runOnce executes one job spec file inline — no scheduler, no HTTP —

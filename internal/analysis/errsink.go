@@ -24,6 +24,7 @@ var ErrSink = &Analyzer{
 		"internal/jobs",
 		"internal/telemetry",
 		"internal/workload",
+		"internal/cluster",
 		"cmd/optnetd",
 	},
 	Run: runErrSink,

@@ -16,6 +16,7 @@ var deterministicPackages = []string{
 	"internal/faults",
 	"internal/jobs",
 	"internal/workload",
+	"internal/cluster",
 }
 
 // MapIter reports `range` statements over maps in the deterministic

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"net/http"
+	"strings"
+
+	"repro/internal/jobs"
+)
+
+// viaHeader carries the names of the nodes a forwarded request has
+// already visited, comma-separated. It is both the hop counter and the
+// loop detector: a node that sees itself in the list, or a list at the
+// hop budget, executes locally instead of forwarding again — the
+// bounded-retry discipline that keeps forwarding livelock-free.
+const viaHeader = "X-Optnet-Via"
+
+// parseVia splits a Via header into its visited-node names.
+func parseVia(h string) []string {
+	if h == "" {
+		return nil
+	}
+	parts := strings.Split(h, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// shouldForward decides whether a request for key should be forwarded,
+// and to whom. It returns false when this node owns the key, when the
+// hop budget is spent, or when the request has looped back.
+func (n *Node) shouldForward(key, via string) (Peer, bool) {
+	owner, ok := Owner(n.cfg.Peers, key)
+	if !ok || owner.Name == n.cfg.Self {
+		return Peer{}, false
+	}
+	hops := parseVia(via)
+	if len(hops) >= n.cfg.MaxHops {
+		return Peer{}, false
+	}
+	for _, h := range hops {
+		if h == n.cfg.Self || h == owner.Name {
+			return Peer{}, false // loop: execute here rather than bounce
+		}
+	}
+	return owner, true
+}
+
+// peerClient returns a jobs client for the peer, carrying the extended
+// Via chain. Forwarded submits get one 429 retry (the owner's
+// Retry-After hint still applies); anything worse falls back locally.
+func (n *Node) peerClient(p Peer, via string) *jobs.Client {
+	hdr := http.Header{}
+	chain := n.cfg.Self
+	if via != "" {
+		chain = via + "," + n.cfg.Self
+	}
+	hdr.Set(viaHeader, chain)
+	return &jobs.Client{
+		BaseURL:     p.URL,
+		HTTPClient:  n.httpClient(),
+		Header:      hdr,
+		RetryBudget: 1,
+	}
+}
+
+// forwardSubmit forwards a decoded submit to the owner. On any
+// transport failure the caller degrades to local execution, so a dead
+// owner costs placement, never availability.
+func (n *Node) forwardSubmit(owner Peer, via string, req jobs.SubmitRequest) (jobs.JobStatus, error) {
+	st, err := n.peerClient(owner, via).Submit(req.Spec, req.Priority)
+	if err != nil {
+		return jobs.JobStatus{}, err
+	}
+	n.m.forwards.Add(1)
+	return st, nil
+}

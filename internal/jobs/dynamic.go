@@ -296,9 +296,9 @@ func (e *Executor) runDynamic(key string, norm Spec, eng *sim.Engine, progress f
 	summaries := make([]DynamicTrialSummary, 0, d.Trials)
 	folded := &telemetry.Snapshot{}
 	start := 0
-	if e.Store != nil {
+	if e.Store != nil || e.Lookup != nil {
 		var ck checkpoint
-		ok, err := e.Store.GetJSON(checkpointKey(key), &ck)
+		ok, err := e.lookupJSON(checkpointKey(key), &ck)
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -129,6 +130,15 @@ type checkpoint struct {
 func resultKey(key string) string     { return "result/" + key }
 func checkpointKey(key string) string { return "ckpt/" + key }
 
+// ResultKey returns the store key of the job's result record; the
+// cluster layer and operational tooling address replicated records
+// through it.
+func ResultKey(key string) string { return resultKey(key) }
+
+// CheckpointKey returns the store key of the job's mid-sweep checkpoint
+// record.
+func CheckpointKey(key string) string { return checkpointKey(key) }
+
 // reload fixes the one JSON asymmetry of a store round trip: a nil
 // RawMessage is stored as the literal null, which unmarshals as the
 // 4-byte token rather than nil. Normalizing it back keeps cached and
@@ -137,6 +147,51 @@ func (r *Result) reload() {
 	if string(r.Table) == "null" {
 		r.Table = nil
 	}
+}
+
+// TrialOutcome is one executed trial of a route sweep: its summary plus
+// its solo telemetry snapshot. It is the unit of work-stealing transfer —
+// integral throughout, so the JSON trip from a stealing peer back to the
+// owner is exact and the owner's fold is byte-identical to local
+// execution.
+type TrialOutcome struct {
+	// Summary is the trial's result row.
+	Summary TrialSummary `json:"summary"`
+	// Snapshot is the telemetry of exactly this trial.
+	Snapshot *telemetry.Snapshot `json:"snapshot"`
+}
+
+// RemoteBatch is a contiguous trial range completed by a remote peer.
+type RemoteBatch struct {
+	// From and To bound the claimed range [From, To).
+	From int `json:"from"`
+	// To is the exclusive upper bound.
+	To int `json:"to"`
+	// Outcomes are the executed trials, in trial order. An empty batch is
+	// a wakeup poke (e.g. after a reclaim) carrying no results.
+	Outcomes []TrialOutcome `json:"outcomes"`
+}
+
+// TrialSession is one sweep's distribution state, owned by the executing
+// worker. ClaimLocal hands the worker the lowest trial not claimed by a
+// remote peer; Completed delivers remotely executed batches (and
+// occasional empty pokes). The channel is never closed; the owner bounds
+// its waits and re-polls ClaimLocal, so an expired remote claim flows
+// back to local execution. Close releases the session's registration.
+type TrialSession interface {
+	// ClaimLocal claims the lowest unclaimed trial for local execution.
+	ClaimLocal() (trial int, ok bool)
+	// Completed delivers remote batches; never closed.
+	Completed() <-chan RemoteBatch
+	// Close unregisters the session (idempotent).
+	Close()
+}
+
+// TrialDistributor opens distribution sessions for route sweeps; the
+// cluster layer implements it. Distribute may return nil to keep the
+// sweep purely local (no peers, too few trials, stealing disabled).
+type TrialDistributor interface {
+	Distribute(key string, spec Spec, start, total int) TrialSession
 }
 
 // Executor runs jobs against an optional store and an optional live
@@ -149,6 +204,41 @@ type Executor struct {
 	Experiments ExperimentRunner
 	// Live optionally receives every trial's telemetry for /metrics.
 	Live *telemetry.Live
+	// Distribute, when set, lets remote peers steal trial ranges of route
+	// sweeps (see internal/cluster); nil keeps every sweep local.
+	Distribute TrialDistributor
+	// Lookup, when set, resolves store keys missing locally against the
+	// cluster's replicas (read-repair); nil keeps lookups local.
+	Lookup func(storeKey string) (json.RawMessage, bool)
+}
+
+// lookupJSON resolves a store key: the local store first, then the
+// cluster read-repair hook. A remote hit is persisted locally with
+// PutRaw — the replicated bytes are already canonical — so the next
+// lookup is a local one.
+func (e *Executor) lookupJSON(storeKey string, out any) (bool, error) {
+	if e.Store != nil {
+		ok, err := e.Store.GetJSON(storeKey, out)
+		if err != nil || ok {
+			return ok, err
+		}
+	}
+	if e.Lookup == nil {
+		return false, nil
+	}
+	raw, ok := e.Lookup(storeKey)
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("jobs: replicated value for %s: %w", storeKey, err)
+	}
+	if e.Store != nil {
+		if err := e.Store.PutRaw(storeKey, raw); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
 }
 
 // Run executes the spec on the worker's engine. It returns the cached
@@ -164,9 +254,9 @@ func (e *Executor) Run(spec Spec, eng *sim.Engine, progress func(done, total int
 		return nil, false, err
 	}
 	norm := spec.Normalized()
-	if e.Store != nil {
+	if e.Store != nil || e.Lookup != nil {
 		var cached Result
-		ok, err := e.Store.GetJSON(resultKey(key), &cached)
+		ok, err := e.lookupJSON(resultKey(key), &cached)
 		if err != nil {
 			return nil, false, err
 		}
@@ -214,7 +304,54 @@ func (e *Executor) runExperiment(key string, norm Spec) (*Result, error) {
 	return &Result{Key: key, Spec: norm, Table: table, Text: text}, nil
 }
 
-// runRoute executes (or resumes) a route sweep trial by trial.
+// routeTrial executes one trial of a materialized route sweep on eng.
+// cfg is the setup's config with the caller's probe attached.
+func routeTrial(setup *runSetup, cfg core.Config, i int, eng *sim.Engine) (TrialSummary, error) {
+	res, err := core.RunWithEngine(setup.col, cfg, setup.trialSrcs[i], eng)
+	if err != nil {
+		return TrialSummary{}, err
+	}
+	return TrialSummary{
+		Trial:      i,
+		Rounds:     res.TotalRounds,
+		Time:       res.TotalTime,
+		Measured:   res.MeasuredTime,
+		Worms:      res.Params.N,
+		Acked:      res.Params.N - len(res.StillActive),
+		FaultKills: res.TotalFaultKills,
+		Rerouted:   res.TotalRerouted,
+		Completed:  res.AllDelivered,
+	}, nil
+}
+
+// routeResult assembles a route sweep's final Result from its folded
+// state; shared by the sequential and distributed paths so both produce
+// the same bytes.
+func routeResult(key string, norm Spec, setup *runSetup, summaries []TrialSummary, folded *telemetry.Snapshot) *Result {
+	var params core.Params
+	if setup.col.Size() > 0 {
+		params = core.Params{
+			N:              setup.col.Size(),
+			Dilation:       setup.col.Dilation(),
+			PathCongestion: setup.col.PathCongestion(),
+			Length:         setup.cfg.Length,
+			Bandwidth:      setup.cfg.Bandwidth,
+		}
+	}
+	return &Result{
+		Key:       key,
+		Spec:      norm,
+		Params:    params,
+		Trials:    summaries,
+		Aggregate: aggregate(summaries),
+		Telemetry: folded,
+	}
+}
+
+// runRoute executes (or resumes) a route sweep trial by trial. With a
+// TrialDistributor attached, remote peers may steal trial ranges; the
+// fold stays strictly in trial order either way, so the distributed
+// result is byte-identical to a single-node run.
 func (e *Executor) runRoute(key string, norm Spec, eng *sim.Engine, progress func(done, total int), canceled func() bool) (*Result, error) {
 	r := norm.Route
 	setup, err := r.setup()
@@ -224,9 +361,11 @@ func (e *Executor) runRoute(key string, norm Spec, eng *sim.Engine, progress fun
 	summaries := make([]TrialSummary, 0, r.Trials)
 	folded := &telemetry.Snapshot{}
 	start := 0
-	if e.Store != nil {
+	if e.Store != nil || e.Lookup != nil {
+		// The checkpoint lookup consults replicas too: a sweep whose owner
+		// died resumes on the next node from the replicated checkpoint.
 		var ck checkpoint
-		ok, err := e.Store.GetJSON(checkpointKey(key), &ck)
+		ok, err := e.lookupJSON(checkpointKey(key), &ck)
 		if err != nil {
 			return nil, err
 		}
@@ -239,6 +378,11 @@ func (e *Executor) runRoute(key string, norm Spec, eng *sim.Engine, progress fun
 	if progress != nil {
 		progress(start, r.Trials)
 	}
+	if e.Distribute != nil {
+		if sess := e.Distribute.Distribute(key, norm, start, r.Trials); sess != nil {
+			return e.runRouteDistributed(key, norm, setup, summaries, folded, start, eng, progress, canceled, sess)
+		}
+	}
 	col := telemetry.NewCollector()
 	cfg := setup.cfg
 	cfg.Probe = col
@@ -246,21 +390,11 @@ func (e *Executor) runRoute(key string, norm Spec, eng *sim.Engine, progress fun
 		if canceled != nil && canceled() {
 			return nil, ErrCanceled
 		}
-		res, err := core.RunWithEngine(setup.col, cfg, setup.trialSrcs[i], eng)
+		sum, err := routeTrial(setup, cfg, i, eng)
 		if err != nil {
 			return nil, err
 		}
-		summaries = append(summaries, TrialSummary{
-			Trial:      i,
-			Rounds:     res.TotalRounds,
-			Time:       res.TotalTime,
-			Measured:   res.MeasuredTime,
-			Worms:      res.Params.N,
-			Acked:      res.Params.N - len(res.StillActive),
-			FaultKills: res.TotalFaultKills,
-			Rerouted:   res.TotalRerouted,
-			Completed:  res.AllDelivered,
-		})
+		summaries = append(summaries, sum)
 		snap := col.Snapshot()
 		if e.Live != nil {
 			e.Live.Absorb(col) // resets col for the next trial
@@ -280,22 +414,147 @@ func (e *Executor) runRoute(key string, norm Spec, eng *sim.Engine, progress fun
 			progress(i+1, r.Trials)
 		}
 	}
-	var params core.Params
-	if setup.col.Size() > 0 {
-		params = core.Params{
-			N:              setup.col.Size(),
-			Dilation:       setup.col.Dilation(),
-			PathCongestion: setup.col.PathCongestion(),
-			Length:         setup.cfg.Length,
-			Bandwidth:      setup.cfg.Bandwidth,
+	return routeResult(key, norm, setup, summaries, folded), nil
+}
+
+// distPollInterval bounds the owner's wait for remote batches, so
+// cancellation and reclaimed trials are noticed promptly.
+const distPollInterval = 50 * time.Millisecond
+
+// runRouteDistributed executes a route sweep with remote help. The owner
+// claims trials the session has not handed to peers and executes them on
+// its own engine; remotely executed batches arrive on the session
+// channel. Outcomes are buffered per trial index and folded strictly in
+// trial order — each fold step appends the summary, adds the trial's
+// snapshot via telemetry.Snapshot.Add and checkpoints, exactly like the
+// sequential loop — so the result and every checkpoint are byte-identical
+// to a single-node run of the same spec.
+func (e *Executor) runRouteDistributed(key string, norm Spec, setup *runSetup, summaries []TrialSummary, folded *telemetry.Snapshot, start int, eng *sim.Engine, progress func(done, total int), canceled func() bool, sess TrialSession) (*Result, error) {
+	defer sess.Close()
+	total := norm.Route.Trials
+	col := telemetry.NewCollector()
+	cfg := setup.cfg
+	cfg.Probe = col
+
+	pending := make(map[int]TrialOutcome) // completed, not yet folded
+	next := start                         // fold pointer: len(summaries)
+	fold := func() error {
+		for {
+			out, ok := pending[next]
+			if !ok {
+				return nil
+			}
+			delete(pending, next)
+			summaries = append(summaries, out.Summary)
+			if err := folded.Add(out.Snapshot); err != nil {
+				return err
+			}
+			next++
+			if e.Store != nil {
+				ck := checkpoint{Key: key, Done: next, Trials: summaries, Telemetry: folded}
+				if err := e.Store.Put(checkpointKey(key), ck); err != nil {
+					return err
+				}
+			}
+			if progress != nil {
+				progress(next, total)
+			}
 		}
 	}
-	return &Result{
-		Key:       key,
-		Spec:      norm,
-		Params:    params,
-		Trials:    summaries,
-		Aggregate: aggregate(summaries),
-		Telemetry: folded,
-	}, nil
+	absorb := func(b RemoteBatch) {
+		for _, out := range b.Outcomes {
+			i := out.Summary.Trial
+			if i < next || i >= total {
+				continue // duplicate of an already-folded (reclaimed) trial
+			}
+			if _, ok := pending[i]; ok {
+				continue
+			}
+			pending[i] = out
+			if e.Live != nil {
+				// Live gauges are best effort; the authoritative fold is the
+				// result's snapshot, where a mismatch is a hard error.
+				_ = e.Live.AddSnapshot(out.Snapshot)
+			}
+		}
+	}
+
+	for next < total {
+		if canceled != nil && canceled() {
+			return nil, ErrCanceled
+		}
+		if i, ok := sess.ClaimLocal(); ok {
+			sum, err := routeTrial(setup, cfg, i, eng)
+			if err != nil {
+				return nil, err
+			}
+			snap := col.Snapshot()
+			if e.Live != nil {
+				e.Live.Absorb(col) // resets col for the next trial
+			} else {
+				col.Reset()
+			}
+			pending[i] = TrialOutcome{Summary: sum, Snapshot: snap}
+		} else {
+			// Every remaining trial is claimed remotely: wait for a batch,
+			// bounded so expired claims (dead peer) flow back to ClaimLocal.
+			select {
+			case b := <-sess.Completed():
+				absorb(b)
+			case <-time.After(distPollInterval):
+			}
+		}
+		// Drain whatever else has arrived, then fold the contiguous prefix.
+	drained:
+		for {
+			select {
+			case b := <-sess.Completed():
+				absorb(b)
+			default:
+				break drained
+			}
+		}
+		if err := fold(); err != nil {
+			return nil, err
+		}
+	}
+	return routeResult(key, norm, setup, summaries, folded), nil
+}
+
+// RunTrialRange executes trials [from, to) of a route sweep on eng,
+// returning each trial's summary and solo telemetry snapshot. It is the
+// work-stealing entry point: per-trial rng streams are pre-split from
+// the spec's master seed in a fixed order, so any node can execute any
+// trial range and the owner's in-order fold reproduces a single-node
+// run byte for byte.
+func RunTrialRange(spec Spec, eng *sim.Engine, from, to int) ([]TrialOutcome, error) {
+	if _, err := spec.Key(); err != nil {
+		return nil, err
+	}
+	norm := spec.Normalized()
+	if norm.Route == nil {
+		return nil, fmt.Errorf("jobs: only route sweeps distribute trials")
+	}
+	r := norm.Route
+	if from < 0 || to > r.Trials || from > to {
+		return nil, fmt.Errorf("jobs: trial range [%d, %d) outside sweep of %d trials", from, to, r.Trials)
+	}
+	setup, err := r.setup()
+	if err != nil {
+		return nil, err
+	}
+	col := telemetry.NewCollector()
+	cfg := setup.cfg
+	cfg.Probe = col
+	outs := make([]TrialOutcome, 0, to-from)
+	for i := from; i < to; i++ {
+		sum, err := routeTrial(setup, cfg, i, eng)
+		if err != nil {
+			return nil, err
+		}
+		snap := col.Snapshot()
+		col.Reset()
+		outs = append(outs, TrialOutcome{Summary: sum, Snapshot: snap})
+	}
+	return outs, nil
 }

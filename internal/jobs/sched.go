@@ -198,8 +198,10 @@ func (s *Scheduler) RetryAfter() time.Duration { return s.opts.RetryAfter }
 
 // Submit enqueues the spec and returns its status. An identical job
 // already queued or running is joined, not duplicated (singleflight); a
-// stored result makes the job done immediately without touching the
-// queue; a full queue returns ErrBusy.
+// stored result makes the job done immediately without consuming a
+// queue slot or waking a worker — the pure-cache-hit path matters after
+// a restart, when the singleflight map is cold but the store is warm; a
+// full queue returns ErrBusy.
 func (s *Scheduler) Submit(spec Spec, priority int) (JobStatus, error) {
 	key, err := spec.Key()
 	if err != nil {
@@ -211,6 +213,21 @@ func (s *Scheduler) Submit(spec Spec, priority int) (JobStatus, error) {
 		totalTrials = norm.Route.Trials
 	}
 
+	// Probe the local store before taking the scheduler mutex: decoding a
+	// cached result can be megabytes of JSON, and holding the lock across
+	// it would stall every worker's state transition on a pure cache hit.
+	// Only the local index is consulted here — a remote read-repair probe
+	// would put peer latency on every cold submit; the worker's Run path
+	// consults replicas before computing instead.
+	var cached *Result
+	if s.exec.Store != nil {
+		var res Result
+		if ok, err := s.exec.Store.GetJSON(resultKey(key), &res); err == nil && ok {
+			res.reload()
+			cached = &res
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -220,23 +237,19 @@ func (s *Scheduler) Submit(spec Spec, priority int) (JobStatus, error) {
 		// Singleflight: queued, running and completed jobs are shared.
 		return s.statusLocked(j), nil
 	}
-	if s.exec.Store != nil {
-		var cached Result
-		if ok, err := s.exec.Store.GetJSON(resultKey(key), &cached); err == nil && ok {
-			cached.reload()
-			j := &job{
-				key: key, spec: norm, priority: priority,
-				state: StateDone, fromCache: true,
-				totalTrials: totalTrials, result: &cached,
-				done: make(chan struct{}),
-			}
-			j.doneTrials.Store(int64(totalTrials))
-			close(j.done)
-			s.jobs[key] = j
-			s.cacheHits++
-			s.jobsDone++
-			return s.statusLocked(j), nil
+	if cached != nil {
+		j := &job{
+			key: key, spec: norm, priority: priority,
+			state: StateDone, fromCache: true,
+			totalTrials: totalTrials, result: cached,
+			done: make(chan struct{}),
 		}
+		j.doneTrials.Store(int64(totalTrials))
+		close(j.done)
+		s.jobs[key] = j
+		s.cacheHits++
+		s.jobsDone++
+		return s.statusLocked(j), nil
 	}
 	if len(s.queue) >= s.opts.QueueSize {
 		return JobStatus{}, ErrBusy

@@ -1,0 +1,111 @@
+package jobs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/testutil"
+)
+
+// TestSubmitCacheHitAfterRestart is the regression test for the
+// cold-singleflight store-hit path: after a daemon restart the in-memory
+// job map is empty but the store is warm, and a submit of an
+// already-stored job must come back done without consuming a queue slot
+// or waking the (busy) worker. The scenario pins it down hard: one
+// worker, wedged on a blocking job; a queue filled to capacity; then the
+// cached submit — which must succeed while any non-cached submit gets
+// ErrBusy.
+func TestSubmitCacheHitAfterRestart(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := store.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	// First life of the daemon: run a sweep to completion so the store
+	// holds its result.
+	spec := clientSpec()
+	warm := &Executor{Store: store}
+	ref, fromCache, err := warm.Run(spec, sim.NewEngine(), nil, nil)
+	if err != nil || fromCache {
+		t.Fatalf("warmup run: err=%v fromCache=%v", err, fromCache)
+	}
+
+	// Second life: fresh scheduler (cold singleflight map), one worker
+	// wedged on a blocking experiment job.
+	block := make(chan struct{})
+	release := make(chan struct{})
+	exec := &Executor{
+		Store: store,
+		Experiments: func(id string, seed uint64, trials int, quick bool) (json.RawMessage, string, error) {
+			close(block)
+			<-release
+			return json.RawMessage(`{}`), "done", nil
+		},
+	}
+	sched := NewScheduler(exec, Options{Workers: 1, QueueSize: 1})
+	defer sched.Close()
+	defer close(release)
+
+	if _, err := sched.Submit(Spec{Experiment: &ExperimentSpec{ID: "blocker", Seed: 1}}, 0); err != nil {
+		t.Fatalf("blocking submit: %v", err)
+	}
+	select {
+	case <-block:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the blocking job")
+	}
+
+	// Fill the queue to capacity with a job that is not in the store.
+	filler := clientSpec()
+	filler.Route.Seed = 999
+	if _, err := sched.Submit(filler, 0); err != nil {
+		t.Fatalf("queue-filling submit: %v", err)
+	}
+	if _, err := sched.Submit(Spec{Experiment: &ExperimentSpec{ID: "overflow", Seed: 2}}, 0); err != ErrBusy {
+		t.Fatalf("overflow submit: got %v, want ErrBusy (queue must be full)", err)
+	}
+
+	// The cached submit must bypass the full queue and the busy worker.
+	st, err := sched.Submit(spec, 0)
+	if err != nil {
+		t.Fatalf("cached submit after restart: %v (must not consume a queue slot)", err)
+	}
+	if st.State != StateDone || !st.FromCache {
+		t.Fatalf("cached submit state %+v, want done from cache", st)
+	}
+	if st.DoneTrials != st.TotalTrials || st.TotalTrials != spec.Route.Trials {
+		t.Fatalf("cached submit progress %d/%d, want %d/%d", st.DoneTrials, st.TotalTrials, spec.Route.Trials, spec.Route.Trials)
+	}
+
+	// The worker never ran it: the filler job is still the only queued
+	// entry and the cache hit is counted.
+	m := sched.Metrics()
+	if m.QueueDepth != 1 {
+		t.Fatalf("queue depth %d after cache hit, want 1 (slot consumed?)", m.QueueDepth)
+	}
+	if m.CacheHits != 1 {
+		t.Fatalf("cache hits %d, want 1", m.CacheHits)
+	}
+	if fst, err := sched.Status(mustKey(t, filler)); err != nil || fst.State != StateQueued {
+		t.Fatalf("filler status %+v err=%v, want still queued", fst, err)
+	}
+
+	// And the served result is the stored one.
+	res, _, err := sched.Result(mustKey(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, _ := json.Marshal(ref)
+	gotJSON, _ := json.Marshal(res)
+	if string(refJSON) != string(gotJSON) {
+		t.Fatal("cached result differs from the stored result")
+	}
+}

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -27,6 +28,12 @@ import (
 //
 // Store is safe for concurrent use: reads share an RLock over the index
 // only, so lookups proceed during appends and segment rolls.
+//
+// Two hooks open the store to replication (see internal/cluster):
+// Observer fires on every locally originated Put with the key and its
+// canonical value; OnSeal fires with a segment's name when it is sealed
+// by a roll. Both are called with the store mutex held and must not call
+// back into the store — enqueue and return.
 type Store struct {
 	mu          sync.RWMutex
 	dir         string
@@ -36,6 +43,15 @@ type Store struct {
 	segSeq      int                        //optlint:guardedby mu
 	maxSegBytes int64
 	skippedTail int //optlint:guardedby mu
+
+	// Observer, when set, observes every locally originated append of a
+	// real value (tombstones and replicated ingests are not reported).
+	// Called under the store mutex: do not call back into the store.
+	Observer func(key string, value json.RawMessage)
+	// OnSeal, when set, observes every segment seal (fsync + close on a
+	// roll) with the sealed segment's file name. Called under the store
+	// mutex: do not call back into the store.
+	OnSeal func(name string)
 }
 
 // storeRecord is one JSONL line: the key and its (raw) value.
@@ -88,6 +104,9 @@ func OpenWithSegmentBytes(dir string, maxSegBytes int64) (*Store, error) {
 }
 
 // segmentNames lists the store's segment files in replay (name) order.
+// Replicated segments imported from peers (rep-<origin>-seg-NNNNNN.jsonl)
+// sort before local ones ("rep-" < "seg-"), so local appends always win
+// when both spell a value for the same key.
 func segmentNames(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -96,7 +115,10 @@ func segmentNames(dir string) ([]string, error) {
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".jsonl") {
+		if !e.IsDir() && !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		if !e.IsDir() && (strings.HasPrefix(name, "seg-") || strings.HasPrefix(name, "rep-")) {
 			names = append(names, name)
 		}
 	}
@@ -180,7 +202,9 @@ func (s *Store) GetJSON(key string, out any) (bool, error) {
 	return true, nil
 }
 
-// Put appends key -> v (canonically encoded) and updates the index.
+// Put appends key -> v (canonically encoded) and updates the index. The
+// Observer, if set, sees the append: Put is the locally originated write
+// path, the one replication must fan out.
 func (s *Store) Put(key string, v any) error {
 	if key == "" {
 		return fmt.Errorf("jobs: empty store key")
@@ -189,17 +213,32 @@ func (s *Store) Put(key string, v any) error {
 	if err != nil {
 		return err
 	}
-	return s.append(storeRecord{K: key, V: raw})
+	return s.append(storeRecord{K: key, V: raw}, true)
+}
+
+// PutRaw appends an already-encoded value for key without notifying the
+// Observer. It is the replication ingest path: the value was canonically
+// encoded (and observed) at its origin, so re-marshaling could only
+// corrupt it and re-observing it would ping-pong records between
+// replicas forever.
+func (s *Store) PutRaw(key string, raw json.RawMessage) error {
+	if key == "" {
+		return fmt.Errorf("jobs: empty store key")
+	}
+	if len(raw) == 0 || string(raw) == "null" {
+		return fmt.Errorf("jobs: PutRaw of a tombstone for %s", key)
+	}
+	return s.append(storeRecord{K: key, V: raw}, false)
 }
 
 // Delete appends a tombstone for key.
 func (s *Store) Delete(key string) error {
-	return s.append(storeRecord{K: key})
+	return s.append(storeRecord{K: key}, false)
 }
 
 // append writes one record line, rolling the segment first when the
-// current one is full.
-func (s *Store) append(rec storeRecord) error {
+// current one is full. local marks an Observer-visible origin write.
+func (s *Store) append(rec storeRecord, local bool) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -217,6 +256,9 @@ func (s *Store) append(rec storeRecord) error {
 	}
 	s.segBytes += int64(len(line))
 	s.apply(rec)
+	if local && s.Observer != nil {
+		s.Observer(rec.K, rec.V)
+	}
 	return nil
 }
 
@@ -233,6 +275,9 @@ func (s *Store) rollLocked() error {
 			return fmt.Errorf("jobs: seal segment: %w", err)
 		}
 		s.seg = nil
+		if s.OnSeal != nil {
+			s.OnSeal(fmt.Sprintf("seg-%06d.jsonl", s.segSeq))
+		}
 	}
 	s.segSeq++
 	path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", s.segSeq))
@@ -284,4 +329,123 @@ func (s *Store) SkippedTails() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.skippedTail
+}
+
+// SegmentInfo describes one of the store's own (locally written) segment
+// files for replication: name, current size, and whether it is still the
+// active append target (an active segment may grow after being listed).
+type SegmentInfo struct {
+	// Name is the segment file name (seg-NNNNNN.jsonl).
+	Name string `json:"name"`
+	// Size is the file size in bytes when listed.
+	Size int64 `json:"size"`
+	// Active reports whether the segment is still being appended to.
+	Active bool `json:"active"`
+}
+
+// Segments lists the store's locally written segments in name order.
+// Imported replica segments (rep-*) are excluded: each node serves only
+// its own data, so shipped segments never chain origins.
+func (s *Store) Segments() ([]SegmentInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: list segments: %w", err)
+	}
+	active := ""
+	if s.seg != nil {
+		active = filepath.Base(s.seg.Name())
+	}
+	var infos []SegmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("jobs: list segments: %w", err)
+		}
+		infos = append(infos, SegmentInfo{Name: name, Size: fi.Size(), Active: name == active})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// validSegmentName reports whether name is a well-formed local segment
+// file name — the only names ReadSegment and ImportSegment accept, so a
+// peer-supplied name can never traverse outside the store directory.
+func validSegmentName(name string) bool {
+	var seq int
+	_, err := fmt.Sscanf(name, "seg-%06d.jsonl", &seq)
+	return err == nil && name == fmt.Sprintf("seg-%06d.jsonl", seq)
+}
+
+// ReadSegment returns the named local segment's bytes. Reading the
+// active segment is allowed — the read lock holds off appends, so the
+// copy is never torn mid-line.
+func (s *Store) ReadSegment(name string) ([]byte, error) {
+	if !validSegmentName(name) {
+		return nil, fmt.Errorf("jobs: bad segment name %q", name)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read segment: %w", err)
+	}
+	return data, nil
+}
+
+// ImportSegment ingests a segment shipped from the named origin peer:
+// the file lands as rep-<origin>-<name> (replayed before local segments
+// on a future open) and its records fill gaps in the live index. Import
+// is strictly additive — a record is applied only when its key is absent
+// locally, and tombstones are ignored — so replicated data can never
+// overwrite or delete anything this node wrote itself. Re-importing the
+// same segment (e.g. after the origin's active segment grew) rewrites
+// the file and re-runs the gap fill, which is idempotent. Returns the
+// number of records applied to the index.
+func (s *Store) ImportSegment(origin, name string, data []byte) (int, error) {
+	if !validSegmentName(name) {
+		return 0, fmt.Errorf("jobs: bad segment name %q", name)
+	}
+	if origin == "" || strings.ContainsAny(origin, "/\\ \t\n") {
+		return 0, fmt.Errorf("jobs: bad segment origin %q", origin)
+	}
+	// Parse outside the lock; a torn tail (origin crashed or the segment
+	// was copied mid-append) keeps the valid prefix, like replay.
+	var recs []storeRecord
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec storeRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.K == "" {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := filepath.Join(s.dir, "rep-"+origin+"-"+name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return 0, fmt.Errorf("jobs: import segment: %w", err)
+	}
+	added := 0
+	for _, rec := range recs {
+		if len(rec.V) == 0 || string(rec.V) == "null" {
+			continue // tombstone: imports never delete
+		}
+		if _, ok := s.index[rec.K]; ok {
+			continue // gap fill only: local data wins
+		}
+		s.index[rec.K] = rec.V
+		added++
+	}
+	return added, nil
 }

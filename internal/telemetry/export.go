@@ -103,15 +103,17 @@ func writeHistogram(w *bufio.Writer, name, help string, h *HistogramSnapshot) {
 
 // Live is a mutex-guarded telemetry aggregate for concurrent producers:
 // worker goroutines Absorb their per-goroutine collectors into it while
-// an Exporter serves Snapshot to scrapers. The zero value is not usable;
-// call NewLive.
+// an Exporter serves Snapshot to scrapers. Snapshots received from
+// remote workers fold in through AddSnapshot. The zero value is not
+// usable; call NewLive.
 type Live struct {
-	mu  sync.Mutex
-	agg *Collector //optlint:guardedby mu
+	mu    sync.Mutex
+	agg   *Collector //optlint:guardedby mu
+	extra *Snapshot  //optlint:guardedby mu
 }
 
 // NewLive returns an empty live aggregate.
-func NewLive() *Live { return &Live{agg: NewCollector()} }
+func NewLive() *Live { return &Live{agg: NewCollector(), extra: &Snapshot{}} }
 
 // Absorb merges the collector's observations into the aggregate and
 // resets the collector, so repeated Absorb calls publish deltas.
@@ -122,11 +124,42 @@ func (l *Live) Absorb(c *Collector) {
 	c.Reset()
 }
 
-// Snapshot returns a consistent copy of the aggregate.
+// AddSnapshot folds an already-snapshotted delta — typically telemetry
+// returned by a remote peer that executed stolen trials — into the live
+// aggregate. Mixed-geometry snapshots return an error and leave the
+// aggregate unchanged, matching Snapshot.Add.
+func (l *Live) AddSnapshot(s *Snapshot) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Fold into a fresh copy first so a mid-Add mismatch (histogram
+	// layouts diverging after the geometry check passed) cannot leave a
+	// half-applied delta behind. Adding into an empty snapshot deep-copies
+	// every slice, so the scratch shares no state with l.extra.
+	scratch := &Snapshot{}
+	if err := scratch.Add(l.extra); err != nil {
+		return err
+	}
+	if err := scratch.Add(s); err != nil {
+		return err
+	}
+	l.extra = scratch
+	return nil
+}
+
+// Snapshot returns a consistent copy of the aggregate, including
+// remotely contributed snapshots.
 func (l *Live) Snapshot() *Snapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.agg.Snapshot()
+	snap := l.agg.Snapshot()
+	if l.extra.Runs > 0 || l.extra.Steps > 0 {
+		if err := snap.Add(l.extra); err != nil {
+			// Geometry drifted between local and remote trials; serve the
+			// local view rather than fail the scrape.
+			return l.agg.Snapshot()
+		}
+	}
+	return snap
 }
 
 // Exporter serves telemetry snapshots over HTTP: /metrics in Prometheus

@@ -1,0 +1,32 @@
+package optnet
+
+import (
+	"repro/internal/cluster"
+)
+
+// ClusterPeer identifies one optnetd cluster member: a stable name
+// (hashed for job ownership) and its base HTTP URL.
+type ClusterPeer = cluster.Peer
+
+// ClusterConfig configures one node of an optnetd cluster: static
+// membership, replication factor, work-stealing cadence, and the
+// forwarding hop bound.
+type ClusterConfig = cluster.Config
+
+// ClusterNode is one member of an optnetd cluster. It wraps a local
+// scheduler with rendezvous-hash ownership forwarding, trial-granular
+// work stealing, and store segment replication with read-repair.
+type ClusterNode = cluster.Node
+
+// ClusterMetrics is the node's cluster counter set (forwards, stolen
+// trials, replicated records/segments, read-repair hits).
+type ClusterMetrics = cluster.Metrics
+
+// NewClusterNode validates the config and returns an unstarted cluster
+// node; see the internal/cluster package docs for the wiring order.
+func NewClusterNode(cfg ClusterConfig) (*ClusterNode, error) { return cluster.New(cfg) }
+
+// ClusterOwner returns the rendezvous-hash owner of key among peers.
+func ClusterOwner(peers []ClusterPeer, key string) (ClusterPeer, bool) {
+	return cluster.Owner(peers, key)
+}
