@@ -20,6 +20,7 @@ import (
 	"repro/internal/optical"
 	"repro/internal/paths"
 	"repro/internal/rng"
+	"repro/internal/shardsim"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/optnet"
@@ -176,6 +177,58 @@ func TestSteadyStateAllocFree(t *testing.T) {
 	}
 }
 
+// shardedWorkload builds the sharded-simulation benchmark workload:
+// `worms` random dimension-order routes on a side x side torus — a large
+// sparse network where per-shard step work dominates the lockstep
+// barriers. Worm count is deliberately far below the node count so the
+// active set, not the occupancy tables, is the hot state.
+func shardedWorkload(tb testing.TB, side, worms int) (*graph.Graph, []sim.Worm, sim.Config) {
+	tb.Helper()
+	tor := topology.NewTorus(2, side)
+	g := tor.Graph()
+	sel := paths.DimOrderTorus(tor)
+	src := rng.New(29)
+	n := g.NumNodes()
+	ws := make([]sim.Worm, 0, worms)
+	for id := 0; len(ws) < worms; id++ {
+		s, d := src.Intn(n), src.Intn(n)
+		if s == d {
+			continue
+		}
+		ws = append(ws, sim.Worm{
+			ID: len(ws), Path: sel(s, d), Length: 8,
+			Delay: src.Intn(256), Wavelength: src.Intn(4),
+		})
+	}
+	return g, ws, sim.Config{Bandwidth: 4, Rule: optical.ServeFirst, AckLength: 1}
+}
+
+// BenchmarkShardedSteadyState measures one round of 2048 worms on a
+// 512x512 torus through the cluster simulator at 1, 2, 4, and 8 shards
+// (shards=1 is the plain single-engine path, the scaling baseline).
+// Throughput scales with physical cores: on a multi-core host the
+// sharded runs overlap release/collect/resolve work across shards, on a
+// single-core host they serialize and only pay the barrier overhead.
+func BenchmarkShardedSteadyState(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("torus_side=512/worms=2048/shards=%d", shards)
+		b.Run(name, func(b *testing.B) {
+			g, worms, cfg := shardedWorkload(b, 512, 2048)
+			cs := shardsim.New(shards)
+			if _, err := cs.Run(g, worms, cfg); err != nil { // warm pools + partition cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cs.Run(g, worms, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineFresh measures the same round with a cold Engine per
 // iteration, isolating the cost of first-run buffer growth.
 func BenchmarkEngineFresh(b *testing.B) {
@@ -203,6 +256,7 @@ func TestEmitBenchTrajectory(t *testing.T) {
 		Bench     string `json:"bench"`
 		TorusSide int    `json:"torus_side"`
 		Worms     int    `json:"worms"`
+		Shards    int    `json:"shards,omitempty"`
 		NsPerOp   int64  `json:"ns_per_op"`
 		AllocsOp  int64  `json:"allocs_per_op"`
 		BytesOp   int64  `json:"bytes_per_op"`
@@ -242,6 +296,32 @@ func TestEmitBenchTrajectory(t *testing.T) {
 				BytesOp:   r.AllocedBytesPerOp(),
 			})
 		}
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		r := testing.Benchmark(func(b *testing.B) {
+			g, worms, cfg := shardedWorkload(b, 512, 2048)
+			cs := shardsim.New(shards)
+			if _, err := cs.Run(g, worms, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cs.Run(g, worms, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		points = append(points, point{
+			Bench:     "BenchmarkShardedSteadyState",
+			TorusSide: 512,
+			Worms:     2048,
+			Shards:    shards,
+			NsPerOp:   r.NsPerOp(),
+			AllocsOp:  r.AllocsPerOp(),
+			BytesOp:   r.AllocedBytesPerOp(),
+		})
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -323,6 +403,60 @@ func TestBenchRegressionGuard(t *testing.T) {
 		}
 		if bestAllocs > p.AllocsOp {
 			t.Errorf("torus_side=%d allocates %d allocs/op, baseline %d", side, bestAllocs, p.AllocsOp)
+		}
+	}
+
+	// Sharded lockstep kernel: +25% ns slack (goroutine scheduling and
+	// barrier timing wobble more than the single-threaded kernel) and +25%
+	// allocs slack (per-run worker spin-up is real allocation, but bounded).
+	var shardedPoints []struct {
+		Bench    string `json:"bench"`
+		Shards   int    `json:"shards"`
+		NsPerOp  int64  `json:"ns_per_op"`
+		AllocsOp int64  `json:"allocs_per_op"`
+	}
+	if err := json.Unmarshal(data, &shardedPoints); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	const shardSlackPct, shardAllocSlackPct = 25, 25
+	for _, p := range shardedPoints {
+		if p.Bench != "BenchmarkShardedSteadyState" {
+			continue
+		}
+		shards := p.Shards
+		bestNs, bestAllocs := int64(math.MaxInt64), int64(math.MaxInt64)
+		for run := 0; run < 3; run++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				g, worms, cfg := shardedWorkload(b, 512, 2048)
+				cs := shardsim.New(shards)
+				if _, err := cs.Run(g, worms, cfg); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := cs.Run(g, worms, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if ns := r.NsPerOp(); ns < bestNs {
+				bestNs = ns
+			}
+			if a := r.AllocsPerOp(); a < bestAllocs {
+				bestAllocs = a
+			}
+		}
+		limit := p.NsPerOp * (100 + shardSlackPct) / 100
+		t.Logf("sharded shards=%d: %d ns/op (baseline %d, limit %d), %d allocs/op (baseline %d)",
+			shards, bestNs, p.NsPerOp, limit, bestAllocs, p.AllocsOp)
+		if bestNs > limit {
+			t.Errorf("sharded shards=%d regressed: %d ns/op exceeds baseline %d by more than %d%%",
+				shards, bestNs, p.NsPerOp, shardSlackPct)
+		}
+		if allocLimit := p.AllocsOp * (100 + shardAllocSlackPct) / 100; bestAllocs > allocLimit {
+			t.Errorf("sharded shards=%d allocates %d allocs/op, baseline %d (+%d%% limit %d)",
+				shards, bestAllocs, p.AllocsOp, shardAllocSlackPct, allocLimit)
 		}
 	}
 

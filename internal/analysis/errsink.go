@@ -22,6 +22,7 @@ var ErrSink = &Analyzer{
 	Doc:  "no discarded errors from Close/Sync/Flush/Write or fmt.Fprint* to abstract writers",
 	Packages: []string{
 		"internal/jobs",
+		"internal/shardsim",
 		"internal/telemetry",
 		"internal/workload",
 		"internal/cluster",

@@ -307,6 +307,21 @@ func Run(c *paths.Collection, cfg Config, src *rng.Source) (*Result, error) {
 // goroutine and pass it here so the simulator's scratch memory is recycled
 // across runs. The engine must not be shared between goroutines.
 func RunWithEngine(c *paths.Collection, cfg Config, src *rng.Source, eng *sim.Engine) (*Result, error) {
+	return RunWithSimulator(c, cfg, src, eng)
+}
+
+// Simulator abstracts the per-round worm executor so the protocol loop
+// can run on either a plain engine or a sharded cluster simulator
+// (shardsim.ClusterSimulator). Implementations own the returned Result
+// until the next Run call, exactly like sim.Engine.
+type Simulator interface {
+	Run(g *graph.Graph, worms []sim.Worm, cfg sim.Config) (*sim.Result, error)
+}
+
+// RunWithSimulator is RunWithEngine generalized over the Simulator
+// interface. Round structure, randomness, and results are identical
+// whichever implementation executes the rounds.
+func RunWithSimulator(c *paths.Collection, cfg Config, src *rng.Source, eng Simulator) (*Result, error) {
 	if c.Size() == 0 {
 		return &Result{AllDelivered: true, ScheduleName: scheduleOf(cfg).Name()}, nil
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/paths"
+	"repro/internal/shardsim"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -59,7 +60,10 @@ func runTrialsPrep(c *paths.Collection, cfg core.Config, trials int, src *rng.So
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			eng := sim.NewEngine() // goroutine-local; never shared
+			var eng core.Simulator = sim.NewEngine() // goroutine-local; never shared
+			if trialShards > 1 {
+				eng = shardsim.New(trialShards)
+			}
 			wcfg := cfg
 			var col *telemetry.Collector
 			if live != nil {
@@ -77,7 +81,7 @@ func runTrialsPrep(c *paths.Collection, cfg core.Config, trials int, src *rng.So
 				if prep != nil {
 					prep(i, &tcfg, sources[i])
 				}
-				results[i], errs[i] = core.RunWithEngine(c, tcfg, sources[i], eng)
+				results[i], errs[i] = core.RunWithSimulator(c, tcfg, sources[i], eng)
 				if col != nil {
 					live.Absorb(col)
 				}

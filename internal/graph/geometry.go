@@ -1,0 +1,28 @@
+package graph
+
+// Geometry describes how a topology generator laid its nodes out, when the
+// layout has more structure than the bare adjacency exposes. The sharded
+// simulator's partitioner keys its strategy off this record: meshes and
+// tori split into coordinate boxes, butterflies into (level, row) bands,
+// and a graph without geometry falls back to BFS growth. A zero Geometry
+// (Kind == "") means "no known layout".
+type Geometry struct {
+	// Kind is "mesh", "torus", or "butterfly"; "" when unknown. A
+	// hypercube registers as a mesh with side-2 extents — the two are the
+	// same graph.
+	Kind string
+	// Dims holds the per-dimension extents for mesh/torus kinds; index 0
+	// is the stride-1 axis (node ID = sum of coord[d] * stride[d]).
+	Dims []int
+	// Levels and Rows give the butterfly layout: node ID = level*Rows+row.
+	Levels, Rows int
+	// Wrapped marks the wrap-around butterfly (level k identified with 0).
+	Wrapped bool
+}
+
+// SetGeometry records the generator's layout metadata on the graph.
+func (g *Graph) SetGeometry(geo Geometry) { g.geo = geo }
+
+// Geometry returns the layout metadata recorded by the generator, or the
+// zero Geometry when none was set. The caller must not modify Dims.
+func (g *Graph) Geometry() Geometry { return g.geo }

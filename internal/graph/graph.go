@@ -41,8 +41,9 @@ type Graph struct {
 	out   [][]LinkID     // out[u] = outgoing link IDs
 	in    [][]LinkID     // in[u] = incoming link IDs
 	adj   [][]adjEntry   // adj[u] = (neighbor, link) pairs, scan-friendly
-	index map[uint64]int // packed (from,to) -> LinkID
+	index map[uint64]int // packed (from,to) -> LinkID; nil on sparse CSR graphs
 	label func(NodeID) string
+	geo   Geometry
 }
 
 // New returns an empty graph on n nodes. It panics if n <= 0.
@@ -84,7 +85,8 @@ func (g *Graph) NumEdges() int { return len(g.links) / 2 }
 
 // AddEdge adds the undirected edge {u, v}, creating links u->v and v->u.
 // It panics on out-of-range nodes or self-loops and is a no-op if the edge
-// already exists.
+// already exists. On a Builder-finalized graph, the first AddEdge call
+// rebuilds the pair-index map that Finalize skipped.
 func (g *Graph) AddEdge(u, v NodeID) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0,%d)", u, v, g.n))
@@ -92,11 +94,22 @@ func (g *Graph) AddEdge(u, v NodeID) {
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop at node %d", u))
 	}
+	if g.index == nil {
+		g.buildIndex()
+	}
 	if _, ok := g.index[pack(u, v)]; ok {
 		return
 	}
 	g.addLink(u, v)
 	g.addLink(v, u)
+}
+
+// buildIndex (re)constructs the pair-index map from the link table.
+func (g *Graph) buildIndex() {
+	g.index = make(map[uint64]int, len(g.links))
+	for id, l := range g.links {
+		g.index[pack(l.From, l.To)] = id
+	}
 }
 
 func (g *Graph) addLink(u, v NodeID) {
@@ -110,6 +123,10 @@ func (g *Graph) addLink(u, v NodeID) {
 
 // HasEdge reports whether the undirected edge {u, v} exists.
 func (g *Graph) HasEdge(u, v NodeID) bool {
+	if g.index == nil {
+		_, ok := g.LinkBetween(u, v)
+		return ok
+	}
 	_, ok := g.index[pack(u, v)]
 	return ok
 }

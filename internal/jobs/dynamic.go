@@ -287,7 +287,7 @@ func aggregateDynamic(trials []DynamicTrialSummary) DynamicAggregate {
 // trial, mirroring runRoute: the checkpoint after every trial makes
 // kill-at-any-trial resume byte-identical, and the folded telemetry
 // snapshot accumulates every trial's engine events.
-func (e *Executor) runDynamic(key string, norm Spec, eng *sim.Engine, progress func(done, total int), canceled func() bool) (*Result, error) {
+func (e *Executor) runDynamic(key string, norm Spec, eng Simulator, progress func(done, total int), canceled func() bool) (*Result, error) {
 	d := norm.Dynamic
 	setup, err := d.setup()
 	if err != nil {
@@ -318,7 +318,7 @@ func (e *Executor) runDynamic(key string, norm Spec, eng *sim.Engine, progress f
 		if canceled != nil && canceled() {
 			return nil, ErrCanceled
 		}
-		res, err := sim.RunDynamicWithEngine(eng, setup.g, setup.reqs, cfg, setup.trialSrcs[i])
+		res, err := eng.RunDynamic(setup.g, setup.reqs, cfg, setup.trialSrcs[i])
 		if err != nil {
 			return nil, err
 		}

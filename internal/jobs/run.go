@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
@@ -248,7 +247,7 @@ func (e *Executor) lookupJSON(storeKey string, out any) (bool, error) {
 // (completedTrials, totalTrials); canceled (optional) is polled between
 // trials and stops the sweep with ErrCanceled, retaining the checkpoint.
 // The second return reports whether the result came from the store.
-func (e *Executor) Run(spec Spec, eng *sim.Engine, progress func(done, total int), canceled func() bool) (*Result, bool, error) {
+func (e *Executor) Run(spec Spec, eng Simulator, progress func(done, total int), canceled func() bool) (*Result, bool, error) {
 	key, err := spec.Key()
 	if err != nil {
 		return nil, false, err
@@ -306,8 +305,8 @@ func (e *Executor) runExperiment(key string, norm Spec) (*Result, error) {
 
 // routeTrial executes one trial of a materialized route sweep on eng.
 // cfg is the setup's config with the caller's probe attached.
-func routeTrial(setup *runSetup, cfg core.Config, i int, eng *sim.Engine) (TrialSummary, error) {
-	res, err := core.RunWithEngine(setup.col, cfg, setup.trialSrcs[i], eng)
+func routeTrial(setup *runSetup, cfg core.Config, i int, eng Simulator) (TrialSummary, error) {
+	res, err := core.RunWithSimulator(setup.col, cfg, setup.trialSrcs[i], eng)
 	if err != nil {
 		return TrialSummary{}, err
 	}
@@ -352,7 +351,7 @@ func routeResult(key string, norm Spec, setup *runSetup, summaries []TrialSummar
 // TrialDistributor attached, remote peers may steal trial ranges; the
 // fold stays strictly in trial order either way, so the distributed
 // result is byte-identical to a single-node run.
-func (e *Executor) runRoute(key string, norm Spec, eng *sim.Engine, progress func(done, total int), canceled func() bool) (*Result, error) {
+func (e *Executor) runRoute(key string, norm Spec, eng Simulator, progress func(done, total int), canceled func() bool) (*Result, error) {
 	r := norm.Route
 	setup, err := r.setup()
 	if err != nil {
@@ -429,7 +428,7 @@ const distPollInterval = 50 * time.Millisecond
 // snapshot via telemetry.Snapshot.Add and checkpoints, exactly like the
 // sequential loop — so the result and every checkpoint are byte-identical
 // to a single-node run of the same spec.
-func (e *Executor) runRouteDistributed(key string, norm Spec, setup *runSetup, summaries []TrialSummary, folded *telemetry.Snapshot, start int, eng *sim.Engine, progress func(done, total int), canceled func() bool, sess TrialSession) (*Result, error) {
+func (e *Executor) runRouteDistributed(key string, norm Spec, setup *runSetup, summaries []TrialSummary, folded *telemetry.Snapshot, start int, eng Simulator, progress func(done, total int), canceled func() bool, sess TrialSession) (*Result, error) {
 	defer sess.Close()
 	total := norm.Route.Trials
 	col := telemetry.NewCollector()
@@ -527,7 +526,7 @@ func (e *Executor) runRouteDistributed(key string, norm Spec, setup *runSetup, s
 // the spec's master seed in a fixed order, so any node can execute any
 // trial range and the owner's in-order fold reproduces a single-node
 // run byte for byte.
-func RunTrialRange(spec Spec, eng *sim.Engine, from, to int) ([]TrialOutcome, error) {
+func RunTrialRange(spec Spec, eng Simulator, from, to int) ([]TrialOutcome, error) {
 	if _, err := spec.Key(); err != nil {
 		return nil, err
 	}

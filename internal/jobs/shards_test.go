@@ -1,0 +1,96 @@
+package jobs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/shardsim"
+	"repro/internal/sim"
+)
+
+// stripBoundary zeroes the sharding-only boundary-traffic counters on a
+// result's telemetry so it can be compared byte-for-byte with a
+// single-engine run. It returns the counters it removed.
+func stripBoundary(r *Result) (handoffs, words uint64) {
+	if r.Telemetry == nil {
+		return 0, 0
+	}
+	handoffs, words = r.Telemetry.BoundaryHandoffs, r.Telemetry.BoundaryWords
+	r.Telemetry.BoundaryHandoffs, r.Telemetry.BoundaryWords = 0, 0
+	return handoffs, words
+}
+
+// TestExecutorShardedMatchesEngine: the same route spec executed on a
+// plain engine and on cluster simulators of several shard counts yields
+// identical results — trial summaries, aggregates, and telemetry match
+// byte for byte; only the sharding-only boundary-traffic counters are
+// extra. That property lets Options.Shards change without rekeying any
+// job or invalidating any stored result.
+func TestExecutorShardedMatchesEngine(t *testing.T) {
+	exec := &Executor{}
+	spec := testSpec(11, 4)
+	want, _, err := exec.Run(spec, sim.NewEngine(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		got, _, err := exec.Run(spec, shardsim.New(shards), nil, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		handoffs, words := stripBoundary(got)
+		if shards > 1 && (handoffs == 0 || words == 0) {
+			t.Fatalf("shards=%d: expected boundary traffic in job telemetry, got %d/%d", shards, handoffs, words)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("shards=%d: result diverged from single-engine run:\n engine: %s\nsharded: %s",
+				shards, wantJSON, gotJSON)
+		}
+	}
+}
+
+// TestSchedulerShardsOption: a scheduler configured with Shards executes
+// jobs on cluster simulators and still reproduces the single-engine
+// result bytes.
+func TestSchedulerShardsOption(t *testing.T) {
+	ref, _, err := (&Executor{}).Run(testSpec(23, 3), sim.NewEngine(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched := NewScheduler(&Executor{}, Options{Workers: 2, Shards: 4})
+	defer sched.Close()
+	st, err := sched.Submit(testSpec(23, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := sched.Done(st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	res, _, err := sched.Result(st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripBoundary(res)
+	gotJSON, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(refJSON) {
+		t.Fatalf("sharded scheduler result diverged:\n engine: %s\nsharded: %s", refJSON, gotJSON)
+	}
+}

@@ -1,0 +1,21 @@
+package jobs
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Simulator is the per-worker executor a Scheduler hands its jobs: a
+// plain *sim.Engine by default, or a *shardsim.ClusterSimulator when
+// Options.Shards > 1. Both produce byte-identical results for the same
+// spec, so sharding never rekeys a job — content addresses, checkpoints,
+// and cached results carry over unchanged between shard counts.
+//
+// Implementations own the returned results until the next call and are
+// not safe for concurrent use, matching sim.Engine; the scheduler gives
+// each worker goroutine its own instance.
+type Simulator interface {
+	Run(g *graph.Graph, worms []sim.Worm, cfg sim.Config) (*sim.Result, error)
+	RunDynamic(g *graph.Graph, reqs []sim.Request, cfg sim.DynamicConfig, src *rng.Source) (*sim.DynamicResult, error)
+}

@@ -1,0 +1,241 @@
+// Package shardsim partitions a topology into N shards and simulates them
+// in lockstep under one deterministic clock, producing results
+// byte-identical to the single-engine reference (see ClusterSimulator).
+//
+// The partitioner is an edge-cut splitter with per-topology strategies
+// keyed off graph.Geometry: meshes and tori (and hypercubes, which
+// register as side-2 meshes) split into coordinate boxes by repeated
+// bisection of the largest extent; butterflies split into level bands
+// first and rows second; graphs without geometry fall back to
+// deterministic multi-source BFS growth. Every strategy is a pure
+// function of the graph — no randomness — so a fixed topology always
+// yields the same partition.
+package shardsim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Partition assigns every node of a graph to exactly one shard.
+type Partition struct {
+	// Shards is the shard count N requested at build time. Shards may be
+	// empty when N exceeds what the strategy can split (e.g. more shards
+	// than nodes).
+	Shards int
+	// Owner[u] is the shard owning node u.
+	Owner []int32
+	// LinkOwner[id] is the shard owning directed link id: the owner of the
+	// link's From node (a coupler arbitrates the links leaving its node, so
+	// contention for a link always resolves on the shard owning its tail).
+	LinkOwner []int32
+	// Strategy names the splitter that produced this partition: "whole"
+	// (N=1), "box" (mesh/torus bisection), "bands" (butterfly), or "bfs".
+	Strategy string
+}
+
+// PartitionGraph splits g into shards parts. It panics if shards < 1.
+func PartitionGraph(g *graph.Graph, shards int) *Partition {
+	if shards < 1 {
+		panic(fmt.Sprintf("shardsim: shards %d < 1", shards))
+	}
+	n := g.NumNodes()
+	p := &Partition{Shards: shards, Owner: make([]int32, n)}
+	if shards == 1 {
+		p.Strategy = "whole"
+	} else {
+		switch geo := g.Geometry(); geo.Kind {
+		case "mesh", "torus":
+			p.Strategy = "box"
+			boxSplit(p.Owner, geo.Dims, shards, -1)
+		case "butterfly":
+			// Node ID = level*Rows + row: rows are the stride-1 axis,
+			// levels the stride-Rows axis (axis index 1). Preferring the
+			// level axis yields contiguous level bands while the bands
+			// stay at least one level thick, then falls back to row splits.
+			p.Strategy = "bands"
+			boxSplit(p.Owner, []int{geo.Rows, geo.Levels}, shards, 1)
+		default:
+			p.Strategy = "bfs"
+			bfsSplit(p.Owner, g, shards)
+		}
+	}
+	p.LinkOwner = make([]int32, g.NumLinks())
+	for id := range p.LinkOwner {
+		p.LinkOwner[id] = p.Owner[g.Link(id).From]
+	}
+	return p
+}
+
+// CutLinks returns the directed links whose endpoints live on different
+// shards, in ascending link-ID order. Because every undirected edge is a
+// reverse pair (IDs 2k, 2k+1), the set is symmetric: a link is in the cut
+// iff its reverse is.
+func (p *Partition) CutLinks(g *graph.Graph) []graph.LinkID {
+	var cut []graph.LinkID
+	for id := 0; id < g.NumLinks(); id++ {
+		l := g.Link(id)
+		if p.Owner[l.From] != p.Owner[l.To] {
+			cut = append(cut, id)
+		}
+	}
+	return cut
+}
+
+// Counts returns the number of nodes owned by each shard.
+func (p *Partition) Counts() []int {
+	counts := make([]int, p.Shards)
+	for _, s := range p.Owner {
+		counts[s]++
+	}
+	return counts
+}
+
+// splitBox is one axis-aligned sub-box of the coordinate grid, with
+// exclusive upper bounds.
+type splitBox struct {
+	lo, hi []int
+}
+
+func (b *splitBox) volume() int {
+	v := 1
+	for d := range b.lo {
+		v *= b.hi[d] - b.lo[d]
+	}
+	return v
+}
+
+// boxSplit bisects the coordinate grid dims into shards boxes and writes
+// box index s into owner[] for every node of box s. Each round splits the
+// most populous splittable box (ties: lowest box index) at the floor
+// midpoint of its largest extent (ties: lowest axis). preferAxis >= 0
+// biases axis choice: that axis is split first whenever its extent is
+// still at least 2 (the butterfly level-band rule).
+func boxSplit(owner []int32, dims []int, shards, preferAxis int) {
+	boxes := []splitBox{{lo: make([]int, len(dims)), hi: append([]int(nil), dims...)}}
+	for len(boxes) < shards {
+		best, bestVol := -1, 1
+		for i := range boxes {
+			if v := boxes[i].volume(); v > bestVol {
+				best, bestVol = i, v
+			}
+		}
+		if best < 0 {
+			break // every remaining box is a single node; excess shards stay empty
+		}
+		b := &boxes[best]
+		axis := -1
+		if preferAxis >= 0 && b.hi[preferAxis]-b.lo[preferAxis] >= 2 {
+			axis = preferAxis
+		} else {
+			ext := 1
+			for d := range dims {
+				if e := b.hi[d] - b.lo[d]; e > ext {
+					axis, ext = d, e
+				}
+			}
+		}
+		mid := b.lo[axis] + (b.hi[axis]-b.lo[axis])/2
+		nb := splitBox{lo: append([]int(nil), b.lo...), hi: append([]int(nil), b.hi...)}
+		nb.lo[axis] = mid
+		b.hi[axis] = mid
+		boxes = append(boxes, nb)
+	}
+	// Paint owners: walk each box with a mixed-radix odometer over the
+	// global strides (axis 0 is stride 1).
+	strides := make([]int, len(dims))
+	st := 1
+	for d := range dims {
+		strides[d] = st
+		st *= dims[d]
+	}
+	coord := make([]int, len(dims))
+	for s := range boxes {
+		b := &boxes[s]
+		copy(coord, b.lo)
+		for {
+			u := 0
+			for d := range coord {
+				u += coord[d] * strides[d]
+			}
+			owner[u] = int32(s)
+			d := 0
+			for d < len(coord) {
+				coord[d]++
+				if coord[d] < b.hi[d] {
+					break
+				}
+				coord[d] = b.lo[d]
+				d++
+			}
+			if d == len(coord) {
+				break
+			}
+		}
+	}
+}
+
+// bfsSplit grows shards regions by round-robin breadth-first expansion
+// from evenly spaced seed nodes. Each shard claims at most ceil(n/shards)
+// nodes; nodes unreached when every frontier drains (disconnected
+// components, capped shards) go to the least-loaded shard. Determinism:
+// seeds, frontier order, and adjacency order are all fixed by the graph.
+func bfsSplit(owner []int32, g *graph.Graph, shards int) {
+	n := g.NumNodes()
+	for u := range owner {
+		owner[u] = -1
+	}
+	maxPer := (n + shards - 1) / shards
+	queues := make([][]graph.NodeID, shards)
+	counts := make([]int, shards)
+	claim := func(u graph.NodeID, s int) {
+		owner[u] = int32(s)
+		counts[s]++
+		queues[s] = append(queues[s], u)
+	}
+	for s := 0; s < shards; s++ {
+		seed := s * n / shards
+		for probe := 0; probe < n; probe++ {
+			u := (seed + probe) % n
+			if owner[u] < 0 {
+				claim(u, s)
+				break
+			}
+		}
+	}
+	for live := true; live; {
+		live = false
+		for s := 0; s < shards; s++ {
+			if len(queues[s]) == 0 {
+				continue
+			}
+			u := queues[s][0]
+			queues[s] = queues[s][1:]
+			live = true
+			if counts[s] >= maxPer {
+				queues[s] = nil
+				continue
+			}
+			for _, id := range g.Out(u) {
+				v := g.Link(id).To
+				if owner[v] < 0 && counts[s] < maxPer {
+					claim(v, s)
+				}
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if owner[u] >= 0 {
+			continue
+		}
+		best := 0
+		for s := 1; s < shards; s++ {
+			if counts[s] < counts[best] {
+				best = s
+			}
+		}
+		owner[u] = int32(best)
+		counts[best]++
+	}
+}

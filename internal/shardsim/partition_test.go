@@ -1,0 +1,188 @@
+package shardsim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func partitionGraphs() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"torus(2,8)", topology.NewTorus(2, 8).Graph()},
+		{"torus(3,4)", topology.NewTorus(3, 4).Graph()},
+		{"mesh(2,9)", topology.NewMesh(2, 9).Graph()},
+		{"hypercube(6)", topology.NewHypercube(6).Graph()},
+		{"butterfly(4)", topology.NewButterfly(4).Graph()},
+		{"wrapped-butterfly(4)", topology.NewWrappedButterfly(4).Graph()},
+		{"debruijn(4)", topology.NewDeBruijn(4).Graph()}, // no geometry: BFS strategy
+		{"ring(37)", topology.NewRing(37).Graph()},
+	}
+}
+
+// Every node lands in exactly one shard, in range, and every shard's link
+// ownership follows the From-node rule.
+func TestPartitionCoverage(t *testing.T) {
+	for _, tc := range partitionGraphs() {
+		for _, shards := range []int{1, 2, 3, 4, 8} {
+			p := PartitionGraph(tc.g, shards)
+			if p.Shards != shards {
+				t.Fatalf("%s/%d: Shards = %d", tc.name, shards, p.Shards)
+			}
+			if len(p.Owner) != tc.g.NumNodes() || len(p.LinkOwner) != tc.g.NumLinks() {
+				t.Fatalf("%s/%d: owner table sizes %d/%d", tc.name, shards, len(p.Owner), len(p.LinkOwner))
+			}
+			for u, s := range p.Owner {
+				if s < 0 || int(s) >= shards {
+					t.Fatalf("%s/%d: node %d owner %d out of range", tc.name, shards, u, s)
+				}
+			}
+			for id, s := range p.LinkOwner {
+				if want := p.Owner[tc.g.Link(id).From]; s != want {
+					t.Fatalf("%s/%d: link %d owner %d, From owner %d", tc.name, shards, id, s, want)
+				}
+			}
+			total := 0
+			for _, c := range p.Counts() {
+				total += c
+			}
+			if total != tc.g.NumNodes() {
+				t.Fatalf("%s/%d: counts sum %d != %d nodes", tc.name, shards, total, tc.g.NumNodes())
+			}
+		}
+	}
+}
+
+// The boundary set is symmetric: a directed link crosses the cut iff its
+// reverse does.
+func TestPartitionBoundarySymmetric(t *testing.T) {
+	for _, tc := range partitionGraphs() {
+		for _, shards := range []int{2, 4, 8} {
+			p := PartitionGraph(tc.g, shards)
+			cut := p.CutLinks(tc.g)
+			inCut := make(map[graph.LinkID]bool, len(cut))
+			for _, id := range cut {
+				inCut[id] = true
+			}
+			for _, id := range cut {
+				if !inCut[tc.g.Reverse(id)] {
+					t.Fatalf("%s/%d: link %d in cut but reverse %d is not",
+						tc.name, shards, id, tc.g.Reverse(id))
+				}
+			}
+			// And the cut is exactly the owner-disagreement set.
+			for id := 0; id < tc.g.NumLinks(); id++ {
+				l := tc.g.Link(id)
+				if crosses := p.Owner[l.From] != p.Owner[l.To]; crosses != inCut[id] {
+					t.Fatalf("%s/%d: link %d cut membership %v, owners %d->%d",
+						tc.name, shards, id, inCut[id], p.Owner[l.From], p.Owner[l.To])
+				}
+			}
+		}
+	}
+}
+
+// Partitioning is a pure function of the topology: two independently built
+// instances of the same graph partition identically.
+func TestPartitionDeterministic(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func() *graph.Graph
+	}{
+		{"torus(2,8)", func() *graph.Graph { return topology.NewTorus(2, 8).Graph() }},
+		{"butterfly(4)", func() *graph.Graph { return topology.NewButterfly(4).Graph() }},
+		{"debruijn(4)", func() *graph.Graph { return topology.NewDeBruijn(4).Graph() }},
+	}
+	for _, tc := range builders {
+		for _, shards := range []int{2, 4, 7} {
+			a := PartitionGraph(tc.build(), shards)
+			b := PartitionGraph(tc.build(), shards)
+			if a.Strategy != b.Strategy {
+				t.Fatalf("%s/%d: strategies %q vs %q", tc.name, shards, a.Strategy, b.Strategy)
+			}
+			for u := range a.Owner {
+				if a.Owner[u] != b.Owner[u] {
+					t.Fatalf("%s/%d: node %d owner %d vs %d", tc.name, shards, u, a.Owner[u], b.Owner[u])
+				}
+			}
+		}
+	}
+}
+
+// N=1 is the whole graph on shard 0 with an empty cut.
+func TestPartitionSingleShard(t *testing.T) {
+	for _, tc := range partitionGraphs() {
+		p := PartitionGraph(tc.g, 1)
+		if p.Strategy != "whole" {
+			t.Fatalf("%s: strategy %q", tc.name, p.Strategy)
+		}
+		for u, s := range p.Owner {
+			if s != 0 {
+				t.Fatalf("%s: node %d owner %d", tc.name, u, s)
+			}
+		}
+		if cut := p.CutLinks(tc.g); len(cut) != 0 {
+			t.Fatalf("%s: single shard has %d cut links", tc.name, len(cut))
+		}
+	}
+}
+
+// Strategy selection follows the recorded geometry, and the box strategies
+// produce reasonably balanced shards on power-of-two grids.
+func TestPartitionStrategies(t *testing.T) {
+	if p := PartitionGraph(topology.NewTorus(2, 8).Graph(), 4); p.Strategy != "box" {
+		t.Fatalf("torus strategy %q", p.Strategy)
+	}
+	if p := PartitionGraph(topology.NewButterfly(4).Graph(), 4); p.Strategy != "bands" {
+		t.Fatalf("butterfly strategy %q", p.Strategy)
+	}
+	if p := PartitionGraph(topology.NewDeBruijn(4).Graph(), 4); p.Strategy != "bfs" {
+		t.Fatalf("debruijn strategy %q", p.Strategy)
+	}
+	p := PartitionGraph(topology.NewTorus(2, 8).Graph(), 4)
+	for s, c := range p.Counts() {
+		if c != 16 {
+			t.Fatalf("torus(2,8)/4: shard %d has %d nodes, want 16", s, c)
+		}
+	}
+	// Butterfly level bands: with shards == levels every shard is exactly
+	// one level (which level maps to which shard is an implementation
+	// detail of the bisection order).
+	bf := topology.NewWrappedButterfly(4)
+	p = PartitionGraph(bf.Graph(), 4)
+	levelOf := make(map[int32]int)
+	for u, s := range p.Owner {
+		l := bf.LevelOf(u)
+		if seen, ok := levelOf[s]; ok && seen != l {
+			t.Fatalf("shard %d spans levels %d and %d", s, seen, l)
+		}
+		levelOf[s] = l
+	}
+	if len(levelOf) != 4 {
+		t.Fatalf("level bands: %d distinct shards, want 4", len(levelOf))
+	}
+}
+
+// More shards than nodes: excess shards stay empty, everything else holds.
+func TestPartitionMoreShardsThanNodes(t *testing.T) {
+	g := topology.NewRing(5).Graph()
+	p := PartitionGraph(g, 8)
+	total := 0
+	for _, c := range p.Counts() {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("counts sum %d", total)
+	}
+	for u, s := range p.Owner {
+		if s < 0 || s >= 8 {
+			t.Fatalf("node %d owner %d", u, s)
+		}
+	}
+}

@@ -141,6 +141,13 @@ func RunDynamic(g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Sour
 	return RunDynamicWithEngine(NewEngine(), g, reqs, cfg, src)
 }
 
+// RunDynamic is RunDynamicWithEngine on this engine, in method form so
+// *Engine satisfies the job layer's Simulator interface alongside the
+// sharded cluster simulator.
+func (e *Engine) RunDynamic(g *graph.Graph, reqs []Request, cfg DynamicConfig, src *rng.Source) (*DynamicResult, error) {
+	return RunDynamicWithEngine(e, g, reqs, cfg, src)
+}
+
 // RunDynamicWithEngine is RunDynamic on a caller-owned engine, reusing
 // its arenas and scratch across runs — the dynamic counterpart of
 // core.RunWithEngine for callers (trace-backed jobs, benchmarks) that

@@ -50,7 +50,11 @@ func newButterfly(k int, wrapped bool) *Butterfly {
 		levels = k
 	}
 	b := &Butterfly{dim: k, wrapped: wrapped, rows: rows}
-	g := graph.New(levels * rows)
+	// Every edge joins level l to the next level and is emitted only from
+	// the lower level, so each undirected edge appears exactly once:
+	// builder-eligible (straight and cross edges never coincide, r^1<<l != r).
+	bld := graph.NewBuilder(levels * rows)
+	bld.Grow(2 * k * rows)
 	for l := 0; l < k; l++ {
 		nextLevel := l + 1
 		if wrapped && nextLevel == k {
@@ -58,10 +62,12 @@ func newButterfly(k int, wrapped bool) *Butterfly {
 		}
 		for r := 0; r < rows; r++ {
 			u := b.nodeAt(l, r)
-			g.AddEdge(u, nextLevel*rows+r)        // straight
-			g.AddEdge(u, nextLevel*rows+(r^1<<l)) // cross: flips bit l
+			bld.AddEdge(u, nextLevel*rows+r)        // straight
+			bld.AddEdge(u, nextLevel*rows+(r^1<<l)) // cross: flips bit l
 		}
 	}
+	g := bld.Finalize()
+	g.SetGeometry(graph.Geometry{Kind: "butterfly", Levels: levels, Rows: rows, Wrapped: wrapped})
 	name := fmt.Sprintf("butterfly(%d)", k)
 	if wrapped {
 		name = fmt.Sprintf("wrapped-butterfly(%d)", k)

@@ -17,22 +17,51 @@ type Mesh struct {
 
 // NewMesh builds a dims-dimensional mesh of the given side length
 // (side^dims nodes). It panics unless dims >= 1 and side >= 2.
+//
+// The edge walk generates each undirected edge exactly once (every node
+// emits its +1 neighbor per axis), so it stages through graph.Builder:
+// million-node meshes build in a handful of flat allocations instead of a
+// map plus three growing slices per node.
 func NewMesh(dims, side int) *Mesh {
 	checkMeshArgs(dims, side)
 	m := &Mesh{dims: dims, side: side, strides: strides(dims, side)}
 	n := intPow(side, dims)
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
+	b.Grow(dims * (n / side) * (side - 1))
+	c := make([]int, dims) // running coordinate vector: no per-node coordOf allocation
 	for u := 0; u < n; u++ {
-		c := m.coordOf(u)
 		for d := 0; d < dims; d++ {
 			if c[d]+1 < side {
-				g.AddEdge(u, u+m.strides[d])
+				b.AddEdge(u, u+m.strides[d])
 			}
 		}
+		incCoord(c, side)
 	}
+	g := b.Finalize()
+	g.SetGeometry(graph.Geometry{Kind: "mesh", Dims: boxDims(dims, side)})
 	g.SetLabeler(func(u graph.NodeID) string { return fmt.Sprint(m.coordOf(u)) })
 	m.base = base{g: g, name: fmt.Sprintf("mesh(%d,%d)", dims, side)}
 	return m
+}
+
+// incCoord advances the mixed-radix coordinate vector by one node ID.
+func incCoord(c []int, side int) {
+	for d := 0; d < len(c); d++ {
+		c[d]++
+		if c[d] < side {
+			return
+		}
+		c[d] = 0
+	}
+}
+
+// boxDims returns the per-dimension extent vector [side]*dims.
+func boxDims(dims, side int) []int {
+	ds := make([]int, dims)
+	for d := range ds {
+		ds[d] = side
+	}
+	return ds
 }
 
 // Torus is the d-dimensional torus (mesh with wrap-around); it is
@@ -53,18 +82,24 @@ func NewTorus(dims, side int) *Torus {
 	}
 	t := &Torus{dims: dims, side: side, strides: strides(dims, side)}
 	n := intPow(side, dims)
-	g := graph.New(n)
+	// Each node emits its +1 (wrapping) neighbor per axis, so with side >= 3
+	// every undirected edge appears exactly once: builder-eligible.
+	b := graph.NewBuilder(n)
+	b.Grow(dims * n)
+	c := make([]int, dims)
 	for u := 0; u < n; u++ {
-		c := t.coordOf(u)
 		for d := 0; d < dims; d++ {
 			next := c[d] + 1
 			if next == side {
 				next = 0
 			}
 			v := u + (next-c[d])*t.strides[d]
-			g.AddEdge(u, v)
+			b.AddEdge(u, v)
 		}
+		incCoord(c, side)
 	}
+	g := b.Finalize()
+	g.SetGeometry(graph.Geometry{Kind: "torus", Dims: boxDims(dims, side)})
 	g.SetLabeler(func(u graph.NodeID) string { return fmt.Sprint(t.coordOf(u)) })
 	t.base = base{g: g, name: fmt.Sprintf("torus(%d,%d)", dims, side)}
 	return t
@@ -182,15 +217,20 @@ func NewHypercube(dim int) *Hypercube {
 		panic("topology: hypercube too large")
 	}
 	n := 1 << dim
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
+	b.Grow(dim * n / 2)
 	for u := 0; u < n; u++ {
-		for b := 0; b < dim; b++ {
-			v := u ^ (1 << b)
+		for d := 0; d < dim; d++ {
+			v := u ^ (1 << d)
 			if u < v {
-				g.AddEdge(u, v)
+				b.AddEdge(u, v)
 			}
 		}
 	}
+	g := b.Finalize()
+	// A dim-cube is the side-2 mesh on [2]^dim; registering it that way
+	// lets the box partitioner split it without a special case.
+	g.SetGeometry(graph.Geometry{Kind: "mesh", Dims: boxDims(dim, 2)})
 	g.SetLabeler(func(u graph.NodeID) string { return fmt.Sprintf("%0*b", dim, u) })
 	return &Hypercube{base: base{g: g, name: fmt.Sprintf("hypercube(%d)", dim)}, dim: dim}
 }

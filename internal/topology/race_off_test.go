@@ -1,0 +1,8 @@
+//go:build !race
+
+package topology
+
+// raceEnabled reports whether the race detector instruments this build;
+// memory-budget tests skip under it (instrumentation multiplies both the
+// heap footprint and the allocation count).
+const raceEnabled = false
